@@ -1,0 +1,137 @@
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <cstdlib>
+#include <iomanip>
+#include <numeric>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "gpusim/arch.hpp"
+
+namespace jigsaw::bench {
+
+bool full_suite() {
+  const char* env = std::getenv("JIGSAW_BENCH_FULL");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+std::vector<dlmc::Shape> bench_shapes() {
+  if (full_suite()) return dlmc::default_shapes();
+  return {{512, 512}, {512, 2048}, {2048, 512}, {768, 768},
+          {1024, 1024}, {512, 64}};
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  JIGSAW_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+    for (const auto& row : rows_) widths[i] = std::max(widths[i], row[i].size());
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << (i == 0 ? "| " : " | ") << std::setw(static_cast<int>(widths[i]))
+         << row[i];
+    }
+    os << " |\n";
+  };
+  print_row(headers_);
+  os << '|';
+  for (const auto w : widths) os << std::string(w + 2, '-') << '|';
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::csv(std::ostream& os) const {
+  const auto emit = [&os](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      // Cells are simple tokens; quote only if a comma sneaks in.
+      if (row[i].find(',') != std::string::npos) {
+        os << '"' << row[i] << '"';
+      } else {
+        os << row[i];
+      }
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+void maybe_write_csv(const Table& table, const std::string& name) {
+  const char* dir = std::getenv("JIGSAW_BENCH_CSV");
+  if (dir == nullptr || dir[0] == '\0') return;
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  std::ofstream os(path);
+  if (!os.is_open()) {
+    std::cerr << "warning: cannot write " << path << "\n";
+    return;
+  }
+  table.csv(os);
+  std::cout << "(csv written to " << path << ")\n";
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string avg_max(const std::vector<double>& speedups) {
+  if (speedups.empty()) return "-";
+  const double avg =
+      std::accumulate(speedups.begin(), speedups.end(), 0.0) /
+      static_cast<double>(speedups.size());
+  const double mx = *std::max_element(speedups.begin(), speedups.end());
+  return fmt(avg) + "/" + fmt(mx);
+}
+
+void SpeedupAccumulator::add(const std::string& key, double speedup) {
+  samples_[key].push_back(speedup);
+}
+
+const std::vector<double>& SpeedupAccumulator::samples(
+    const std::string& key) const {
+  static const std::vector<double> empty;
+  const auto it = samples_.find(key);
+  return it == samples_.end() ? empty : it->second;
+}
+
+double SpeedupAccumulator::average(const std::string& key) const {
+  const auto& s = samples(key);
+  if (s.empty()) return 0.0;
+  return std::accumulate(s.begin(), s.end(), 0.0) /
+         static_cast<double>(s.size());
+}
+
+double SpeedupAccumulator::maximum(const std::string& key) const {
+  const auto& s = samples(key);
+  return s.empty() ? 0.0 : *std::max_element(s.begin(), s.end());
+}
+
+std::string SpeedupAccumulator::avg_max(const std::string& key) const {
+  return bench::avg_max(samples(key));
+}
+
+void print_banner(const std::string& title, const std::string& paper_ref) {
+  std::cout << "==================================================\n"
+            << title << "\n"
+            << "Reproduces: " << paper_ref << "\n"
+            << "Simulated device: " << gpusim::a100().name << " ("
+            << gpusim::a100().num_sms << " SMs, "
+            << gpusim::a100().clock_ghz << " GHz)\n"
+            << "Suite: " << (full_suite() ? "FULL" : "quick")
+            << " (set JIGSAW_BENCH_FULL=1 for the full grid)\n"
+            << "==================================================\n";
+}
+
+}  // namespace jigsaw::bench

@@ -1,0 +1,62 @@
+// Shared infrastructure of the per-figure/per-table benchmark drivers:
+// aligned table printing, speedup aggregation, and the quick/full suite
+// switch (set JIGSAW_BENCH_FULL=1 to sweep the complete DLMC-like grid;
+// the default subset keeps the whole bench directory under a few minutes).
+#pragma once
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dlmc/suite.hpp"
+
+namespace jigsaw::bench {
+
+/// True when the full evaluation grid was requested via JIGSAW_BENCH_FULL.
+bool full_suite();
+
+/// The shape list honoring the quick/full switch.
+std::vector<dlmc::Shape> bench_shapes();
+
+/// Fixed-width table printer with optional CSV export.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os = std::cout) const;
+  /// Writes the table as CSV.
+  void csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// When JIGSAW_BENCH_CSV names a directory, writes `table` to
+/// <dir>/<name>.csv (for downstream plotting); otherwise does nothing.
+void maybe_write_csv(const Table& table, const std::string& name);
+
+/// Formats a double with fixed precision.
+std::string fmt(double v, int precision = 2);
+
+/// avg/max formatting used by Table 2 of the paper.
+std::string avg_max(const std::vector<double>& speedups);
+
+/// Aggregates speedups per configuration key.
+class SpeedupAccumulator {
+ public:
+  void add(const std::string& key, double speedup);
+  double average(const std::string& key) const;
+  double maximum(const std::string& key) const;
+  const std::vector<double>& samples(const std::string& key) const;
+  std::string avg_max(const std::string& key) const;
+
+ private:
+  std::map<std::string, std::vector<double>> samples_;
+};
+
+/// Prints the standard bench banner (seed, mode, device).
+void print_banner(const std::string& title, const std::string& paper_ref);
+
+}  // namespace jigsaw::bench

@@ -1,0 +1,74 @@
+// Extension bench: roofline placement of every kernel in the comparison.
+// Shows the evaluation's why: at high sparsity every sparse kernel is
+// memory-bound (B and C traffic persists while FLOPs vanish), so Jigsaw's
+// advantage comes from shedding traffic and overheads, not from the SpTC's
+// raw 2x MAC throughput.
+#include <iostream>
+
+#include "baselines/jigsaw_adapter.hpp"
+#include "baselines/spmm_kernel.hpp"
+#include "bench_common.hpp"
+#include "gpusim/roofline.hpp"
+
+namespace jigsaw {
+namespace {
+
+gpusim::ComputePipe pipe_for(const std::string& kernel) {
+  if (kernel == "Sputnik") return gpusim::ComputePipe::kCudaFp16;
+  if (kernel == "Jigsaw" || kernel == "SparTA") {
+    return gpusim::ComputePipe::kSparseTensorCore;
+  }
+  return gpusim::ComputePipe::kTensorCoreFp16;
+}
+
+void run() {
+  bench::print_banner("Extension: roofline placement of every kernel",
+                      "gpusim roofline analysis (not in the paper)");
+  std::cout << "A100 ridge points: dense TC "
+            << bench::fmt(gpusim::ridge_intensity(
+                   gpusim::a100(), gpusim::ComputePipe::kTensorCoreFp16), 0)
+            << " FLOP/B, SpTC "
+            << bench::fmt(gpusim::ridge_intensity(
+                   gpusim::a100(), gpusim::ComputePipe::kSparseTensorCore), 0)
+            << " FLOP/B, CUDA fp16 "
+            << bench::fmt(gpusim::ridge_intensity(
+                   gpusim::a100(), gpusim::ComputePipe::kCudaFp16), 0)
+            << " FLOP/B\n";
+
+  gpusim::CostModel cm;
+  auto kernels = baselines::make_baselines();
+  kernels.push_back(std::make_unique<baselines::JigsawSpmmKernel>());
+  const baselines::SpmmRunOptions cost_only{.compute_values = false};
+
+  for (const double s : {0.80, 0.95}) {
+    std::cout << "\n--- sparsity " << bench::fmt(s * 100, 0)
+              << "%, v=8, 1024x1024, N=512 ---\n";
+    bench::Table table({"kernel", "FLOP/B", "bound", "achieved GF/s",
+                        "attainable GF/s", "efficiency"});
+    const auto a = dlmc::make_lhs({1024, 1024}, s, 8);
+    const auto b = dlmc::make_rhs(1024, 512);
+    for (const auto& kernel : kernels) {
+      const auto result = kernel->run(a, b, cm, cost_only);
+      const auto p = gpusim::roofline_point(result.report, gpusim::a100(),
+                                            pipe_for(kernel->name()));
+      table.add_row({kernel->name(), bench::fmt(p.intensity, 1),
+                     p.memory_bound ? "memory" : "compute",
+                     bench::fmt(p.achieved_gflops, 0),
+                     bench::fmt(p.attainable_gflops, 0),
+                     bench::fmt(p.efficiency * 100, 1) + "%"});
+    }
+    table.print();
+  }
+  std::cout << "\nExpected: every kernel sits left of its ridge at these\n"
+               "sparsities; Jigsaw achieves the highest fraction of its\n"
+               "attainable bound because it moves the fewest bytes per\n"
+               "useful FLOP (zero columns never leave DRAM).\n";
+}
+
+}  // namespace
+}  // namespace jigsaw
+
+int main() {
+  jigsaw::run();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Figure 10: SpMM speedup over cuBLAS(Hgemm) on the simulated A100 for
+// Jigsaw, CLASP (best pv), Magicube (L16-R16), Sputnik and SparTA, across
+// the (sparsity, v, N) grid of the DLMC-like suite. One sub-table per
+// (sparsity, v); rows are matrix shapes, columns kernels; the geometric
+// mean row is the series the paper plots.
+#include <cmath>
+#include <iostream>
+
+#include "baselines/jigsaw_adapter.hpp"
+#include "baselines/spmm_kernel.hpp"
+#include "bench_common.hpp"
+
+namespace jigsaw {
+namespace {
+
+void run() {
+  bench::print_banner("Figure 10: SpMM speedup over cuBLAS",
+                      "Jigsaw (ICPP'24) Figure 10");
+
+  gpusim::CostModel cm;
+  auto kernels = baselines::make_baselines();  // [0] is cuBLAS
+  kernels.push_back(std::make_unique<baselines::JigsawSpmmKernel>());
+  const baselines::SpmmRunOptions cost_only{.compute_values = false};
+
+  const auto sparsities = bench::full_suite()
+                              ? dlmc::sparsities()
+                              : std::vector<double>{0.80, 0.95};
+  const auto widths = dlmc::vector_widths();
+  const auto ns = bench::full_suite() ? dlmc::output_widths()
+                                      : std::vector<std::size_t>{256, 512};
+
+  for (const double s : sparsities) {
+    for (const std::size_t v : widths) {
+      for (const std::size_t n : ns) {
+        std::cout << "\n--- sparsity " << bench::fmt(s * 100, 0) << "%, v="
+                  << v << ", N=" << n << " ---\n";
+        std::vector<std::string> headers{"shape (MxK)"};
+        for (std::size_t i = 1; i < kernels.size(); ++i) {
+          headers.push_back(kernels[i]->name());
+        }
+        bench::Table table(headers);
+
+        std::vector<double> log_speedups(kernels.size() - 1, 0.0);
+        int count = 0;
+        for (const auto& shape : bench::bench_shapes()) {
+          const auto a = dlmc::make_lhs(shape, s, v);
+          const auto b = dlmc::make_rhs(shape.k, n);
+          const double dense =
+              kernels[0]->run(a, b, cm, cost_only).report.duration_cycles;
+          std::vector<std::string> row{shape.label()};
+          for (std::size_t i = 1; i < kernels.size(); ++i) {
+            const double d =
+                kernels[i]->run(a, b, cm, cost_only).report.duration_cycles;
+            const double speedup = dense / d;
+            row.push_back(bench::fmt(speedup));
+            log_speedups[i - 1] += std::log(speedup);
+          }
+          table.add_row(std::move(row));
+          ++count;
+        }
+        std::vector<std::string> geo{"geomean"};
+        for (double ls : log_speedups) {
+          geo.push_back(bench::fmt(std::exp(ls / std::max(1, count))));
+        }
+        table.add_row(std::move(geo));
+        table.print();
+      }
+    }
+  }
+  std::cout << "\nShape expectations from the paper: Jigsaw ~0.8-1.0x at 80%\n"
+               "sparsity v=2, crossing cuBLAS around 90%, reaching ~2x+ at\n"
+               "98% v=8; Sputnik and Magicube below cuBLAS except extreme\n"
+               "sparsity; CLASP within ~1.4x of Jigsaw; SparTA flat.\n";
+}
+
+}  // namespace
+}  // namespace jigsaw
+
+int main() {
+  jigsaw::run();
+  return 0;
+}

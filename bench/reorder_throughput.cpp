@@ -1,0 +1,74 @@
+// Host-side preprocessing cost (google-benchmark): the paper argues the
+// multi-granularity reorder is "one-time light preprocessing, whose cost
+// can be amortized over inferences" (§3.1). This benchmark measures the
+// actual wall-clock reorder + format-build time across sparsities, vector
+// widths, and BLOCK_TILE sizes, reporting elements/second.
+#include <benchmark/benchmark.h>
+
+#include "core/kernel.hpp"
+#include "dlmc/suite.hpp"
+
+namespace jigsaw {
+namespace {
+
+void bench_reorder(benchmark::State& state) {
+  const auto sparsity = static_cast<double>(state.range(0)) / 100.0;
+  const auto v = static_cast<std::size_t>(state.range(1));
+  const int bt = static_cast<int>(state.range(2));
+  const dlmc::Shape shape{512, 1024};
+  const auto a = dlmc::make_lhs(shape, sparsity, v);
+
+  for (auto _ : state) {
+    core::ReorderOptions opts;
+    opts.tile.block_tile_m = bt;
+    auto result = core::multi_granularity_reorder(a.values(), opts);
+    benchmark::DoNotOptimize(result.panels.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(shape.m * shape.k));
+  state.counters["success"] = 0.0;
+  core::ReorderOptions opts;
+  opts.tile.block_tile_m = bt;
+  state.counters["success"] =
+      core::multi_granularity_reorder(a.values(), opts).success() ? 1.0 : 0.0;
+}
+
+void bench_format_build(benchmark::State& state) {
+  const auto sparsity = static_cast<double>(state.range(0)) / 100.0;
+  const dlmc::Shape shape{512, 1024};
+  const auto a = dlmc::make_lhs(shape, sparsity, 8);
+  core::ReorderOptions opts;
+  opts.tile.block_tile_m = 64;
+  const auto reorder = core::multi_granularity_reorder(a.values(), opts);
+  for (auto _ : state) {
+    auto format = core::JigsawFormat::build(a.values(), reorder);
+    benchmark::DoNotOptimize(format.values().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(shape.m * shape.k));
+}
+
+void bench_full_plan(benchmark::State& state) {
+  // The complete V4 preprocessing (three reorders + three format builds):
+  // the cost a user amortizes over inference runs.
+  const dlmc::Shape shape{512, 1024};
+  const auto a = dlmc::make_lhs(shape, 0.95, 8);
+  for (auto _ : state) {
+    auto plan = core::jigsaw_plan(a.values(), {});
+    benchmark::DoNotOptimize(plan.formats.data());
+  }
+}
+
+}  // namespace
+}  // namespace jigsaw
+
+BENCHMARK(jigsaw::bench_reorder)
+    ->ArgsProduct({{80, 90, 95, 98}, {2, 8}, {16, 64}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(jigsaw::bench_format_build)
+    ->Arg(80)
+    ->Arg(95)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(jigsaw::bench_full_plan)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

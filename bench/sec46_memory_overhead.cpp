@@ -1,0 +1,75 @@
+// §4.6: memory overhead of the reorder-aware storage format relative to
+// the dense representation (2*M*K bytes), for BLOCK_TILE in {16, 32, 64}.
+// Reports both the paper's closed-form estimate (56.25 / 50 / 46.87%) and
+// the honestly measured footprint of real format instances (the paper's
+// formula counts the compressed fp16 payload at one byte per element; see
+// EXPERIMENTS.md for the discrepancy analysis).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/kernel.hpp"
+
+namespace jigsaw {
+namespace {
+
+void run() {
+  bench::print_banner("§4.6: storage-format memory overhead",
+                      "Jigsaw (ICPP'24) §4.6");
+
+  // The paper's formula ignores the savings from deleted zero columns; it
+  // is a function of (M, K, BLOCK_TILE) only.
+  bench::Table formula({"BLOCK_TILE", "paper formula vs dense", "paper quote"});
+  const std::vector<std::string> quotes{"56.25%", "50%", "46.87%"};
+  int qi = 0;
+  for (const int bt : {16, 32, 64}) {
+    const double ratio =
+        core::JigsawFormat::paper_formula_bytes(1024, 1024, bt) /
+        (2.0 * 1024 * 1024);
+    formula.add_row({std::to_string(bt), bench::fmt(ratio * 100) + "%",
+                     quotes[static_cast<std::size_t>(qi++)]});
+  }
+  formula.print();
+
+  std::cout << "\n--- measured footprints (values stored as real fp16, zero "
+               "columns dropped) ---\n";
+  bench::Table measured({"shape", "sparsity", "v", "BT", "values", "metadata",
+                         "col_idx", "block_col_idx", "total vs dense"});
+  const auto shapes = bench::full_suite()
+                          ? bench::bench_shapes()
+                          : std::vector<dlmc::Shape>{{512, 512}, {1024, 1024}};
+  for (const auto& shape : shapes) {
+    for (const double s : {0.80, 0.95}) {
+      for (const std::size_t v : {2u, 8u}) {
+        const auto a = dlmc::make_lhs(shape, s, v);
+        for (const int bt : {16, 32, 64}) {
+          core::ReorderOptions opts;
+          opts.tile.block_tile_m = bt;
+          const auto reorder =
+              core::multi_granularity_reorder(a.values(), opts);
+          const auto format = core::JigsawFormat::build(a.values(), reorder);
+          const auto fp = format.memory_footprint();
+          const double dense =
+              2.0 * static_cast<double>(shape.m) * static_cast<double>(shape.k);
+          measured.add_row(
+              {shape.label(), bench::fmt(s * 100, 0) + "%",
+               std::to_string(v), std::to_string(bt),
+               bench::fmt(fp.values / 1024.0, 0) + "K",
+               bench::fmt(fp.metadata / 1024.0, 0) + "K",
+               bench::fmt(fp.col_idx / 1024.0, 0) + "K",
+               bench::fmt(fp.block_col_idx / 1024.0, 0) + "K",
+               bench::fmt(100.0 * static_cast<double>(fp.total()) / dense, 1) +
+                   "%"});
+        }
+      }
+    }
+  }
+  measured.print();
+}
+
+}  // namespace
+}  // namespace jigsaw
+
+int main() {
+  jigsaw::run();
+  return 0;
+}

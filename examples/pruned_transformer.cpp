@@ -1,0 +1,98 @@
+// Example: inference through the linear layers of one pruned Transformer
+// block — the workload the paper's introduction motivates.
+//
+// A BERT-base-like block has six weight matrices (Q, K, V, attention
+// output, FFN up, FFN down). After 8x1 vector pruning at 90-95% sparsity,
+// every matmul is an SpMM with vector sparsity. This example preprocesses
+// each layer once with Jigsaw, runs a batch of token activations through
+// the block, verifies the results, and totals the simulated A100 time
+// against the dense cuBLAS execution of the same block.
+#include <iostream>
+#include <vector>
+
+#include "baselines/dense_gemm.hpp"
+#include "core/kernel.hpp"
+#include "matrix/reference.hpp"
+#include "matrix/vector_sparse.hpp"
+
+namespace {
+
+struct Layer {
+  std::string name;
+  std::size_t out_features;
+  std::size_t in_features;
+  double sparsity;
+};
+
+}  // namespace
+
+int main() {
+  using namespace jigsaw;
+
+  constexpr std::size_t kHidden = 768;
+  constexpr std::size_t kFfn = 4 * kHidden;
+  constexpr std::size_t kTokens = 256;  // batch x sequence tile
+  const std::vector<Layer> layers{
+      {"attn.q", kHidden, kHidden, 0.90}, {"attn.k", kHidden, kHidden, 0.90},
+      {"attn.v", kHidden, kHidden, 0.90}, {"attn.out", kHidden, kHidden, 0.90},
+      {"ffn.up", kFfn, kHidden, 0.95},    {"ffn.down", kHidden, kFfn, 0.95},
+  };
+
+  gpusim::CostModel a100_model;
+  Rng rng(1234);
+
+  // Activations entering the block: in_features x tokens (B operand).
+  DenseMatrix<fp16_t> activations(kHidden, kTokens);
+  for (std::size_t i = 0; i < activations.size(); ++i) {
+    activations.data()[i] = fp16_t(rng.uniform(-0.5f, 0.5f));
+  }
+
+  double jigsaw_us = 0.0, dense_us = 0.0, preprocess_ms = 0.0;
+  std::cout << "layer      shape           sparsity  BT  kernel-us  "
+               "cuBLAS-us  speedup  max|err|\n";
+
+  for (const Layer& layer : layers) {
+    VectorSparseOptions gen;
+    gen.rows = layer.out_features;
+    gen.cols = layer.in_features;
+    gen.vector_width = 8;
+    gen.sparsity = layer.sparsity;
+    gen.seed = mix_seed(99, layer.out_features, layer.in_features);
+    const VectorSparseMatrix weights = VectorSparseGenerator::generate(gen);
+
+    // One-time preprocessing per layer (weights are stationary across
+    // inference requests — §3.1).
+    const core::JigsawPlan plan = core::jigsaw_plan(weights.values());
+    preprocess_ms += plan.preprocess_seconds * 1e3;
+
+    // The block is a pipeline; for layer shapes that consume the previous
+    // output we would feed results forward. Here every layer multiplies a
+    // correctly-shaped activation tile so shapes always match.
+    DenseMatrix<fp16_t> b(layer.in_features, kTokens);
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      b.data()[i] = fp16_t(rng.uniform(-0.5f, 0.5f));
+    }
+
+    const auto run = core::jigsaw_run(plan, b, a100_model);
+    const auto dense =
+        baselines::DenseGemmKernel::cost(layer.out_features, kTokens,
+                                         layer.in_features, a100_model);
+    const auto ref = reference_gemm(weights.values(), b);
+    const double err = max_abs_diff(*run.c, ref);
+
+    jigsaw_us += run.report.duration_us;
+    dense_us += dense.duration_us;
+    std::printf("%-10s %5zux%-9zu %5.0f%%  %2d  %9.2f  %9.2f  %6.2fx  %.4f\n",
+                layer.name.c_str(), layer.out_features, layer.in_features,
+                layer.sparsity * 100, run.selected_block_tile,
+                run.report.duration_us, dense.duration_us,
+                dense.duration_us / run.report.duration_us, err);
+  }
+
+  std::cout << "\nblock totals: jigsaw " << jigsaw_us << " us vs cuBLAS "
+            << dense_us << " us  ->  " << dense_us / jigsaw_us
+            << "x speedup\n"
+            << "one-time preprocessing: " << preprocess_ms
+            << " ms (amortized across all inference batches)\n";
+  return 0;
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite, and regenerates every paper
+# table/figure, capturing test_output.txt and bench_output.txt at the repo
+# root (the artifacts EXPERIMENTS.md refers to).
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "===== $(basename "$b") =====" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+done

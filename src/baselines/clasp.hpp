@@ -1,0 +1,26 @@
+// CLASP stand-in (Castro et al., PACT'22): the column-vector sparse
+// format on Ampere dense tensor cores (mma.m8n8k16), the successor of
+// vectorSparse. The stored vector length pv in {2,4,8} caps the MMA
+// utilization at pv/8 (25/50/100% — §4.2), so, like the paper, run() tries
+// every admissible pv and reports the best configuration.
+#pragma once
+
+#include "baselines/spmm_kernel.hpp"
+
+namespace jigsaw::baselines {
+
+class ClaspKernel final : public SpmmKernel {
+ public:
+  std::string name() const override { return "CLASP"; }
+  SpmmResult run(const VectorSparseMatrix& a, const DenseMatrix<fp16_t>& b,
+                 const gpusim::CostModel& cost_model,
+                 const SpmmRunOptions& options) const override;
+
+  /// Cost of one pv configuration (pv must divide the matrix vector width
+  /// so the stored vectors align with the pruning pattern).
+  static gpusim::KernelReport cost(const VectorSparseMatrix& a, std::size_t n,
+                                   std::size_t pv,
+                                   const gpusim::CostModel& cost_model);
+};
+
+}  // namespace jigsaw::baselines

@@ -1,0 +1,112 @@
+#include "baselines/cusparselt.hpp"
+
+#include <algorithm>
+
+#include "baselines/dense_gemm.hpp"
+#include "common/error.hpp"
+#include "core/tile_config.hpp"
+#include "matrix/two_four.hpp"
+
+namespace jigsaw::baselines {
+
+namespace {
+constexpr std::size_t kTileK = 64;  // logical k per step (32 compressed)
+
+// Like cuBLAS, cuSparseLt dispatches among tile configurations; the two
+// below cover the large-GEMM and small-GEMM regimes.
+struct SpTile {
+  std::size_t m, n;
+  int threads;
+  std::size_t smem;
+};
+constexpr SpTile kSpTiles[] = {
+    {128, 128, 256, 48 * 1024},
+    {64, 64, 128, 20 * 1024},
+};
+
+gpusim::KernelReport cost_with_tile(std::size_t m, std::size_t n,
+                                    std::size_t k, const SpTile& tile,
+                                    const gpusim::CostModel& cm) {
+  const std::size_t kTileM = tile.m;
+  const std::size_t kTileN = tile.n;
+  const std::size_t m_pad = core::round_up(m, kTileM);
+  const std::size_t n_pad = core::round_up(n, kTileN);
+  const std::size_t k_pad = core::round_up(k, kTileK);
+  const double blocks = static_cast<double>(m_pad / kTileM) *
+                        static_cast<double>(n_pad / kTileN);
+  const double ksteps = static_cast<double>(k_pad / kTileK);
+
+  gpusim::KernelCounters c;
+  // Logical MACs; the cost model halves them through the SpTC speedup.
+  // The operand is always processed at the full (compressed) K width: no
+  // zero-column skipping, whatever the real sparsity.
+  c.sptc_macs = static_cast<double>(m_pad) * static_cast<double>(n_pad) *
+                static_cast<double>(k_pad);
+
+  // Compressed A (half width) + metadata + full B staging.
+  const double a_bytes_per_step =
+      kTileM * (kTileK / 2) * sizeof(fp16_t) + kTileM * kTileK / 8.0;
+  const double b_bytes_per_step = kTileN * kTileK * sizeof(fp16_t);
+  const double a_reads = blocks * ksteps * a_bytes_per_step;
+  const double b_reads = blocks * ksteps * b_bytes_per_step;
+  const double a_unique =
+      static_cast<double>(m) * static_cast<double>(k) * (1.0 + 1.0 / 8.0);
+  const double b_unique =
+      static_cast<double>(k) * static_cast<double>(n) * 2.0;
+  c.dram_read_bytes = std::min(a_reads, a_unique) + std::min(b_reads, b_unique);
+  c.l2_read_bytes = (a_reads + b_reads) - c.dram_read_bytes;
+  c.dram_write_bytes = static_cast<double>(m) * static_cast<double>(n) * 2.0;
+
+  const double mma_count = c.sptc_macs / (16.0 * 8.0 * 32.0);
+  c.smem_store_transactions =
+      blocks * ksteps * (a_bytes_per_step + b_bytes_per_step) / 128.0;
+  c.smem_load_transactions = mma_count * 1.1;
+  c.instructions = mma_count * 2.0 + blocks * ksteps * 28.0;
+  c.barriers = blocks * ksteps;
+  c.long_scoreboard_warp_cycles = blocks * ksteps * 8.0 * 20.0;
+  c.short_scoreboard_warp_cycles = c.smem_load_transactions * 0.25;
+
+  gpusim::LaunchConfig launch;
+  launch.blocks = static_cast<std::uint64_t>(blocks);
+  launch.threads_per_block = tile.threads;
+  launch.smem_per_block = tile.smem;
+  launch.regs_per_thread = 128;
+  return cm.estimate("cusparselt_24", c, launch);
+}
+
+}  // namespace
+
+gpusim::KernelReport CuSparseLtKernel::cost(std::size_t m, std::size_t n,
+                                            std::size_t k,
+                                            const gpusim::CostModel& cm) {
+  gpusim::KernelReport best;
+  bool first = true;
+  for (const SpTile& tile : kSpTiles) {
+    gpusim::KernelReport r = cost_with_tile(m, n, k, tile, cm);
+    if (first || r.duration_cycles < best.duration_cycles) {
+      best = std::move(r);
+      first = false;
+    }
+  }
+  return best;
+}
+
+DenseMatrix<float> CuSparseLtKernel::compute(const DenseMatrix<fp16_t>& a,
+                                             const DenseMatrix<fp16_t>& b) {
+  return DenseGemmKernel::compute(a, b);  // zeros contribute nothing
+}
+
+SpmmResult CuSparseLtKernel::run(const VectorSparseMatrix& a,
+                                 const DenseMatrix<fp16_t>& b,
+                                 const gpusim::CostModel& cost_model,
+                                 const SpmmRunOptions& options) const {
+  JIGSAW_CHECK_MSG(satisfies_two_four(a.values()),
+                   "cuSparseLt requires a 2:4-structured operand; prune "
+                   "first (VENOM) or split (SparTA)");
+  SpmmResult result;
+  result.report = cost(a.rows(), b.cols(), a.cols(), cost_model);
+  if (options.compute_values) result.c = compute(a.values(), b);
+  return result;
+}
+
+}  // namespace jigsaw::baselines

@@ -1,0 +1,31 @@
+// cuSparseLt stand-in (Mishra et al., 2021): the vendor 2:4 SpTC GEMM.
+// Its cost is fixed at half the dense tensor-core work regardless of how
+// sparse the operand actually is beyond 2:4 — the source of SparTA's (and
+// cuSparseLt's own) inefficiency at high sparsity that §4.2 and Table 3
+// describe.
+#pragma once
+
+#include "baselines/spmm_kernel.hpp"
+
+namespace jigsaw::baselines {
+
+class CuSparseLtKernel final : public SpmmKernel {
+ public:
+  std::string name() const override { return "cuSparseLt"; }
+
+  /// The whole-matrix entry prunes nothing: the operand must already
+  /// satisfy 2:4 (e.g. VENOM-pruned inputs in Table 3, or SparTA's split
+  /// part). run() checks and throws otherwise.
+  SpmmResult run(const VectorSparseMatrix& a, const DenseMatrix<fp16_t>& b,
+                 const gpusim::CostModel& cost_model,
+                 const SpmmRunOptions& options) const override;
+
+  static gpusim::KernelReport cost(std::size_t m, std::size_t n,
+                                   std::size_t k,
+                                   const gpusim::CostModel& cost_model);
+  /// Functional path over an (already 2:4) dense-stored operand.
+  static DenseMatrix<float> compute(const DenseMatrix<fp16_t>& a,
+                                    const DenseMatrix<fp16_t>& b);
+};
+
+}  // namespace jigsaw::baselines

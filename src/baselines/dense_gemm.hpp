@@ -1,0 +1,28 @@
+// cuBLAS stand-in: dense fp16 GEMM on the dense tensor cores
+// (cublasHgemm in the paper; the 1.0x normalization baseline of every
+// figure). Includes the thread-block over-launch pathology the paper
+// diagnosed at M = K = 2048, N = 512 (§4.2's outlier analysis).
+#pragma once
+
+#include "baselines/spmm_kernel.hpp"
+
+namespace jigsaw::baselines {
+
+class DenseGemmKernel final : public SpmmKernel {
+ public:
+  std::string name() const override { return "cuBLAS"; }
+  SpmmResult run(const VectorSparseMatrix& a, const DenseMatrix<fp16_t>& b,
+                 const gpusim::CostModel& cost_model,
+                 const SpmmRunOptions& options) const override;
+
+  /// Direct entry for dense operands (used by other kernels' internals).
+  static gpusim::KernelReport cost(std::size_t m, std::size_t n,
+                                   std::size_t k,
+                                   const gpusim::CostModel& cost_model);
+
+  /// Blocked fp32-accumulation GEMM (the functional path).
+  static DenseMatrix<float> compute(const DenseMatrix<fp16_t>& a,
+                                    const DenseMatrix<fp16_t>& b);
+};
+
+}  // namespace jigsaw::baselines

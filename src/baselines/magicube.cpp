@@ -1,0 +1,118 @@
+#include "baselines/magicube.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+
+namespace jigsaw::baselines {
+
+namespace {
+
+constexpr std::size_t kTileM = 32;
+constexpr std::size_t kTileN = 64;
+constexpr int kThreads = 128;
+constexpr std::size_t kSmem = 20 * 1024;
+
+}  // namespace
+
+/// Quantized functional path: fixed-point at the configured bit widths
+/// (scale 2^(bits-2): |values| <= 1 after pruning leaves one integer bit
+/// plus sign), integer multiply, dequantize into fp32. At L16-R16 the grid
+/// is fine enough to pass the fp tests; lower precisions trade accuracy.
+DenseMatrix<float> MagicubeKernel::compute(const VectorSparseMatrix& a,
+                                           const DenseMatrix<fp16_t>& b,
+                                           const MagicubeConfig& config) {
+  JIGSAW_CHECK(a.cols() == b.rows());
+  const std::size_t m = a.rows(), n = b.cols();
+  const double kScaleA = std::pow(2.0, config.lhs_bits - 2);
+  const double kScaleB = std::pow(2.0, config.rhs_bits - 2);
+  DenseMatrix<float> c(m, n);
+  parallel_for(static_cast<std::int64_t>(m), [&](std::int64_t r) {
+    for (std::size_t col = 0; col < a.cols(); ++col) {
+      const float av = static_cast<float>(
+          a.values()(static_cast<std::size_t>(r), col));
+      if (av == 0.0f) continue;
+      const auto qa = static_cast<std::int64_t>(std::lround(av * kScaleA));
+      const fp16_t* brow = b.view().row(col);
+      float* crow = c.view().row(static_cast<std::size_t>(r));
+      for (std::size_t j = 0; j < n; ++j) {
+        const auto qb = static_cast<std::int64_t>(
+            std::lround(static_cast<float>(brow[j]) * kScaleB));
+        crow[j] += static_cast<float>(
+            static_cast<double>(qa * qb) / (kScaleA * kScaleB));
+      }
+    }
+  });
+  return c;
+}
+
+gpusim::KernelReport MagicubeKernel::cost(const VectorSparseMatrix& a,
+                                          std::size_t n,
+                                          const gpusim::CostModel& cm,
+                                          const MagicubeConfig& config) {
+  const double nnz = static_cast<double>(a.nnz());
+  const double n_cols = static_cast<double>(n);
+  const std::size_t v = a.vector_width();
+  const bool v8_path = (v == 8);
+  // Strided vectors map onto the int8 mma rows like CLASP's column
+  // vectors: utilization v/8.
+  const double util = static_cast<double>(std::min<std::size_t>(v, 8)) / 8.0;
+
+  gpusim::KernelCounters c;
+  // Each LxR product decomposes into ceil(L/8)*ceil(R/8) int8 partials.
+  c.tc_int8_macs = nnz * n_cols * config.partial_products() / util;
+  // Dequantization + requant bookkeeping on CUDA cores.
+  c.cuda_macs = nnz * n_cols * 0.25;
+
+  const double row_blocks =
+      static_cast<double>((a.rows() + kTileM - 1) / kTileM);
+  const double col_blocks = static_cast<double>((n + kTileN - 1) / kTileN);
+  const double values_bytes = nnz * 2.0 + (nnz / static_cast<double>(v)) * 4.0;
+  const double b_reads = (nnz / static_cast<double>(v)) * kTileN * 2.0 *
+                         col_blocks;
+  const double b_unique =
+      static_cast<double>(a.cols()) * n_cols * 2.0;
+  c.dram_read_bytes = values_bytes + std::min(b_reads, b_unique);
+  c.l2_read_bytes = values_bytes * (col_blocks - 1.0) +
+                    std::max(0.0, b_reads - b_unique);
+  c.dram_write_bytes = static_cast<double>(a.rows()) * n_cols * 2.0;
+
+  const double mma_count = c.tc_int8_macs / 2048.0;
+  c.smem_store_transactions = (b_reads + values_bytes * col_blocks) / 128.0;
+  // The v=2/4 paths suffer heavy bank conflicts on the strided fragments;
+  // the v=8 path halves them (§4.2's Nsight observation).
+  const double conflict_rate = v8_path ? 0.35 : 0.85;
+  c.smem_load_transactions = mma_count * 1.6 * (1.0 + conflict_rate);
+  c.smem_bank_conflicts = mma_count * 1.6 * conflict_rate;
+  const double inst_factor = v8_path ? 4.4 : 5.0;  // ~10% fewer at v=8
+  c.instructions = mma_count * inst_factor + b_reads / 512.0;
+
+  const double ksteps = std::max(1.0, nnz / std::max(1.0, row_blocks) /
+                                          (kTileM / 2.0));
+  c.long_scoreboard_warp_cycles =
+      row_blocks * col_blocks * 4.0 * ksteps * (v8_path ? 150.0 : 200.0);
+  c.short_scoreboard_warp_cycles = c.smem_load_transactions * 0.5;
+  c.barriers = row_blocks * col_blocks * ksteps;
+
+  gpusim::LaunchConfig launch;
+  launch.blocks = static_cast<std::uint64_t>(
+      std::max(1.0, row_blocks * col_blocks));
+  launch.threads_per_block = kThreads;
+  launch.smem_per_block = kSmem;
+  launch.regs_per_thread = 96;
+  return cm.estimate("magicube_" + config.label(), c, launch);
+}
+
+SpmmResult MagicubeKernel::run(const VectorSparseMatrix& a,
+                               const DenseMatrix<fp16_t>& b,
+                               const gpusim::CostModel& cost_model,
+                               const SpmmRunOptions& options) const {
+  SpmmResult result;
+  result.report = cost(a, b.cols(), cost_model, config_);
+  if (options.compute_values) result.c = compute(a, b, config_);
+  return result;
+}
+
+}  // namespace jigsaw::baselines

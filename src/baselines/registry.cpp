@@ -1,0 +1,20 @@
+#include "baselines/clasp.hpp"
+#include "baselines/dense_gemm.hpp"
+#include "baselines/magicube.hpp"
+#include "baselines/sparta.hpp"
+#include "baselines/spmm_kernel.hpp"
+#include "baselines/sputnik.hpp"
+
+namespace jigsaw::baselines {
+
+std::vector<std::unique_ptr<SpmmKernel>> make_baselines() {
+  std::vector<std::unique_ptr<SpmmKernel>> kernels;
+  kernels.push_back(std::make_unique<DenseGemmKernel>());
+  kernels.push_back(std::make_unique<ClaspKernel>());
+  kernels.push_back(std::make_unique<MagicubeKernel>());
+  kernels.push_back(std::make_unique<SputnikKernel>());
+  kernels.push_back(std::make_unique<SpartaKernel>());
+  return kernels;
+}
+
+}  // namespace jigsaw::baselines

@@ -1,0 +1,70 @@
+#include "baselines/sparta.hpp"
+
+#include "baselines/cusparselt.hpp"
+#include "baselines/sputnik.hpp"
+#include "common/error.hpp"
+#include "matrix/two_four.hpp"
+
+namespace jigsaw::baselines {
+
+SpartaKernel::Split SpartaKernel::split(const DenseMatrix<fp16_t>& a) {
+  DenseMatrix<fp16_t> two_four(a.rows(), a.cols());
+  DenseMatrix<fp16_t> residual_dense(a.rows(), a.cols());
+  const std::size_t groups = (a.cols() + 3) / 4;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t g = 0; g < groups; ++g) {
+      int kept = 0;
+      const std::size_t c1 = std::min(4 * g + 4, a.cols());
+      for (std::size_t c = 4 * g; c < c1; ++c) {
+        const fp16_t v = a(r, c);
+        if (v.is_zero()) continue;
+        if (kept < 2) {
+          two_four(r, c) = v;
+          ++kept;
+        } else {
+          residual_dense(r, c) = v;
+        }
+      }
+    }
+  }
+  Split s;
+  s.two_four = std::move(two_four);
+  s.residual = CsrMatrix::from_dense(residual_dense);
+  JIGSAW_ASSERT(satisfies_two_four(s.two_four));
+  return s;
+}
+
+SpmmResult SpartaKernel::run(const VectorSparseMatrix& a,
+                             const DenseMatrix<fp16_t>& b,
+                             const gpusim::CostModel& cost_model,
+                             const SpmmRunOptions& options) const {
+  const Split s = split(a.values());
+  const auto report24 =
+      CuSparseLtKernel::cost(a.rows(), b.cols(), a.cols(), cost_model);
+
+  SpmmResult result;
+  if (s.residual.nnz() == 0) {
+    // Degenerate split: everything fit 2:4, only the SpTC kernel runs.
+    result.report = report24;
+    result.report.name = "sparta(cusparselt-only)";
+    if (options.compute_values) {
+      result.c = CuSparseLtKernel::compute(s.two_four, b);
+    }
+    return result;
+  }
+
+  const auto report_res = SputnikKernel::cost(s.residual, b.cols(), cost_model);
+  result.report = gpusim::KernelReport::sequence("sparta(cusparselt+sputnik)",
+                                                 report24, report_res);
+  if (options.compute_values) {
+    auto c = CuSparseLtKernel::compute(s.two_four, b);
+    const auto c_res = SputnikKernel::compute(s.residual, b);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      c.data()[i] += c_res.data()[i];
+    }
+    result.c = std::move(c);
+  }
+  return result;
+}
+
+}  // namespace jigsaw::baselines

@@ -1,0 +1,30 @@
+// SparTA stand-in (Zheng et al., OSDI'22): decomposes the sparse operand
+// into a 2:4-satisfiable part executed by cuSparseLt and a residual part
+// executed by Sputnik, then sums the two outputs. The decomposition itself
+// and the fixed half-dense cost of the 2:4 kernel reproduce the paper's
+// observation that SparTA stops improving as sparsity rises (§4.2).
+#pragma once
+
+#include "baselines/spmm_kernel.hpp"
+#include "matrix/csr.hpp"
+
+namespace jigsaw::baselines {
+
+class SpartaKernel final : public SpmmKernel {
+ public:
+  std::string name() const override { return "SparTA"; }
+  SpmmResult run(const VectorSparseMatrix& a, const DenseMatrix<fp16_t>& b,
+                 const gpusim::CostModel& cost_model,
+                 const SpmmRunOptions& options) const override;
+
+  /// The split: `two_four` keeps at most the first two nonzeros of every
+  /// aligned 4-group per row; `residual` holds the overflow. Exposed for
+  /// tests (two_four + residual must reassemble the input exactly).
+  struct Split {
+    DenseMatrix<fp16_t> two_four;
+    CsrMatrix residual;
+  };
+  static Split split(const DenseMatrix<fp16_t>& a);
+};
+
+}  // namespace jigsaw::baselines

@@ -1,0 +1,49 @@
+// Common interface of every SpMM implementation in the comparison
+// (§4.1): Jigsaw, cuBLAS (dense), CLASP, Magicube, Sputnik, SparTA,
+// cuSparseLt and VENOM. Each kernel exposes a functional path (exact
+// numeric result, used by tests) and a simulated-cost path (KernelReport,
+// used by the benchmarks), mirroring how the paper measures all kernels
+// under the same Nsight configuration.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gpusim/cost_model.hpp"
+#include "matrix/dense.hpp"
+#include "matrix/vector_sparse.hpp"
+
+namespace jigsaw::baselines {
+
+struct SpmmResult {
+  std::optional<DenseMatrix<float>> c;  ///< set when compute_values
+  gpusim::KernelReport report;
+};
+
+struct SpmmRunOptions {
+  bool compute_values = true;
+};
+
+/// Abstract SpMM kernel over a vector-sparse LHS and dense RHS.
+class SpmmKernel {
+ public:
+  virtual ~SpmmKernel() = default;
+
+  /// Display name used in benchmark tables ("cuBLAS", "Sputnik", ...).
+  virtual std::string name() const = 0;
+
+  /// Computes C = A x B: always produces the simulated report; the numeric
+  /// result only when options.compute_values.
+  virtual SpmmResult run(const VectorSparseMatrix& a,
+                         const DenseMatrix<fp16_t>& b,
+                         const gpusim::CostModel& cost_model,
+                         const SpmmRunOptions& options = {}) const = 0;
+};
+
+/// All baseline kernels the paper compares against (excluding Jigsaw
+/// itself; see JigsawSpmmKernel for the adapter), in the order of Fig. 10.
+std::vector<std::unique_ptr<SpmmKernel>> make_baselines();
+
+}  // namespace jigsaw::baselines

@@ -1,0 +1,26 @@
+// Sputnik stand-in (Gale et al., SC'20): CSR SpMM on CUDA cores with the
+// 1-D tiling scheme and row-swizzle load balancing. No tensor cores — the
+// paper attributes its A100 performance gap to exactly that (§4.2).
+#pragma once
+
+#include "baselines/spmm_kernel.hpp"
+#include "matrix/csr.hpp"
+
+namespace jigsaw::baselines {
+
+class SputnikKernel final : public SpmmKernel {
+ public:
+  std::string name() const override { return "Sputnik"; }
+  SpmmResult run(const VectorSparseMatrix& a, const DenseMatrix<fp16_t>& b,
+                 const gpusim::CostModel& cost_model,
+                 const SpmmRunOptions& options) const override;
+
+  /// Cost/compute over an explicit CSR operand (also used by SparTA's
+  /// residual kernel).
+  static gpusim::KernelReport cost(const CsrMatrix& a, std::size_t n,
+                                   const gpusim::CostModel& cost_model);
+  static DenseMatrix<float> compute(const CsrMatrix& a,
+                                    const DenseMatrix<fp16_t>& b);
+};
+
+}  // namespace jigsaw::baselines

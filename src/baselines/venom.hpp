@@ -1,0 +1,46 @@
+// VENOM stand-in (Castro et al., SC'23): the vectorized V:N:M format for
+// sparse tensor cores. The pruner keeps N (=2) columns out of every M in
+// each V-row stripe, producing column vectors of height V that map
+// directly onto the 2:4 SpTC after packing; global element sparsity is
+// 1 - N/M. Used in §4.5 / Table 3: Jigsaw, VENOM and cuSparseLt all run on
+// the same VENOM-pruned matrices.
+#pragma once
+
+#include "baselines/spmm_kernel.hpp"
+
+namespace jigsaw::baselines {
+
+/// V:N:M pruning parameters. N is fixed at 2 (the SpTC pattern); M is
+/// derived from the target sparsity: with the element-level 2:4 inside
+/// kept columns, sparsity = 1 - 1/M.
+struct VenomConfig {
+  std::size_t v = 64;  ///< stripe height (Table 3 uses 32, 64, 128)
+  std::size_t m = 8;   ///< group width; sparsity = 1 - 2/m
+
+  double sparsity() const { return 1.0 - 1.0 / static_cast<double>(m); }
+  /// Chooses M to hit a target sparsity (0.8 -> 10, 0.9 -> 20, ...).
+  static VenomConfig for_sparsity(std::size_t v, double target);
+};
+
+/// Generates a VENOM-pruned (V:2:M) matrix: every (V-row, M-column) block
+/// keeps exactly two random columns, fully populated.
+VectorSparseMatrix venom_prune(std::size_t rows, std::size_t cols,
+                               const VenomConfig& config, std::uint64_t seed);
+
+class VenomKernel final : public SpmmKernel {
+ public:
+  explicit VenomKernel(VenomConfig config = {}) : config_(config) {}
+  std::string name() const override { return "VENOM"; }
+  SpmmResult run(const VectorSparseMatrix& a, const DenseMatrix<fp16_t>& b,
+                 const gpusim::CostModel& cost_model,
+                 const SpmmRunOptions& options) const override;
+
+  static gpusim::KernelReport cost(const VectorSparseMatrix& a, std::size_t n,
+                                   const VenomConfig& config,
+                                   const gpusim::CostModel& cost_model);
+
+ private:
+  VenomConfig config_;
+};
+
+}  // namespace jigsaw::baselines

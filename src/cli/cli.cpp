@@ -1,0 +1,367 @@
+#include "cli/cli.hpp"
+
+#include <iostream>
+#include <optional>
+#include <sstream>
+
+#include "baselines/jigsaw_adapter.hpp"
+#include "baselines/spmm_kernel.hpp"
+#include "common/error.hpp"
+#include "core/hybrid.hpp"
+#include "core/kernel.hpp"
+#include "core/serialize.hpp"
+#include "matrix/matrix_market.hpp"
+#include "matrix/reference.hpp"
+#include "matrix/two_four.hpp"
+#include "matrix/vector_sparse.hpp"
+
+namespace jigsaw::cli {
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: jigsaw <command> [options]
+
+commands:
+  generate --rows M --cols K [--sparsity 0.9] [--vector-width 4]
+           [--seed 1] --out a.mtx
+      Synthesize a vector-sparse matrix (DLMC-style random pruning).
+
+  info <a.mtx>
+      Shape, sparsity, native 2:4 compliance, and the multi-granularity
+      reorder outcome for BLOCK_TILE 16/32/64.
+
+  plan <a.mtx> --out a.jsf [--block-tile 16|32|64] [--naive-metadata]
+      Reorder + build + save the reorder-aware format.
+
+  run <a.mtx|a.jsf> [--n 256] [--kernel jigsaw|hybrid|cublas|clasp|
+      magicube|sputnik|sparta] [--verify] [--seed 1]
+      [--device a100|a100-80g|h100]
+      Simulate one SpMM kernel on the selected device model and print
+      its report.
+
+  bench <a.mtx> [--n 256] [--seed 1]
+      Run every kernel on the same problem and print the comparison.
+)";
+
+DenseMatrix<fp16_t> random_rhs(std::size_t k, std::size_t n,
+                               std::uint64_t seed) {
+  DenseMatrix<fp16_t> b(k, n);
+  Rng rng(mix_seed(seed, 0xb0b));
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b.data()[i] = fp16_t(rng.uniform(-1.0f, 1.0f));
+  }
+  return b;
+}
+
+void print_report(const gpusim::KernelReport& r, std::ostream& out) {
+  out << "kernel:            " << r.name << "\n"
+      << "duration:          " << r.duration_us << " us ("
+      << r.duration_cycles << " cycles)\n"
+      << "bound by:          " << r.breakdown.limiter_name() << "\n"
+      << "launch:            " << r.launch.blocks << " blocks x "
+      << r.launch.threads_per_block << " threads, "
+      << r.launch.smem_per_block / 1024.0 << " KiB smem\n"
+      << "occupancy:         " << r.occupancy.blocks_per_sm << " blocks/SM ("
+      << r.occupancy.limiter << "-limited), " << r.occupancy.warps_per_sm
+      << " warps/SM\n"
+      << "dram traffic:      "
+      << (r.counters.dram_read_bytes + r.counters.dram_write_bytes) / 1024.0
+      << " KiB\n"
+      << "smem transactions: "
+      << r.counters.smem_load_transactions +
+             r.counters.smem_store_transactions
+      << " (" << r.counters.smem_bank_conflicts << " conflict replays)\n"
+      << "warp stalls:       long scoreboard " << r.warp_long_scoreboard()
+      << "/inst, short " << r.warp_short_scoreboard() << "/inst\n";
+}
+
+void fail_on_unknown_flags(const Args& args,
+                           std::initializer_list<const char*> known) {
+  for (const auto& name : args.flag_names()) {
+    bool ok = false;
+    for (const char* k : known) ok |= (name == k);
+    JIGSAW_CHECK_MSG(ok, "unknown option --" << name << "\n" << kUsage);
+  }
+}
+
+int cmd_generate(const Args& args, std::ostream& out) {
+  fail_on_unknown_flags(
+      args, {"rows", "cols", "sparsity", "vector-width", "seed", "out"});
+  VectorSparseOptions o;
+  o.rows = args.value_size("rows", 0);
+  o.cols = args.value_size("cols", 0);
+  o.sparsity = args.value_double("sparsity", 0.9);
+  o.vector_width = args.value_size("vector-width", 4);
+  o.seed = args.value_size("seed", 1);
+  JIGSAW_CHECK_MSG(o.rows > 0 && o.cols > 0,
+                   "--rows and --cols are required\n" << kUsage);
+  const std::string path = args.value("out");
+  JIGSAW_CHECK_MSG(!path.empty(), "--out is required\n" << kUsage);
+  const auto m = VectorSparseGenerator::generate(o);
+  write_matrix_market_file(m.values(), path);
+  out << "wrote " << path << ": " << o.rows << "x" << o.cols << ", sparsity "
+      << m.sparsity() * 100 << "%, v=" << o.vector_width << "\n";
+  return 0;
+}
+
+int cmd_info(const Args& args, std::ostream& out) {
+  fail_on_unknown_flags(args, {});
+  JIGSAW_CHECK_MSG(args.positional().size() == 2,
+                   "info needs one input file\n" << kUsage);
+  const auto a = read_matrix_market_file(args.positional()[1]);
+  out << "shape:      " << a.rows() << " x " << a.cols() << "\n"
+      << "nonzeros:   " << count_nonzeros(a) << " (sparsity "
+      << sparsity_of(a) * 100 << "%)\n";
+  const auto tf = analyze_two_four(a);
+  out << "native 2:4: " << (tf.compliant() ? "yes" : "no") << " ("
+      << tf.compliance_ratio() * 100 << "% of groups comply)\n";
+  for (const int bt : {16, 32, 64}) {
+    core::ReorderOptions opts;
+    opts.tile.block_tile_m = bt;
+    const auto r = core::multi_granularity_reorder(a, opts);
+    out << "reorder BT=" << bt << ": "
+        << (r.success() ? "success" : "K grows") << ", mean padded K "
+        << r.mean_padded_cols() << ", zero columns/panel "
+        << static_cast<double>(r.total_zero_columns()) /
+               static_cast<double>(r.panels.size())
+        << ", evictions " << r.total_evictions() << "\n";
+  }
+  return 0;
+}
+
+int cmd_plan(const Args& args, std::ostream& out) {
+  fail_on_unknown_flags(args, {"out", "block-tile", "naive-metadata"});
+  JIGSAW_CHECK_MSG(args.positional().size() == 2,
+                   "plan needs one input file\n" << kUsage);
+  const std::string path = args.value("out");
+  JIGSAW_CHECK_MSG(!path.empty(), "--out is required\n" << kUsage);
+  const auto a = read_matrix_market_file(args.positional()[1]);
+  core::ReorderOptions opts;
+  opts.tile.block_tile_m =
+      static_cast<int>(args.value_size("block-tile", 64));
+  const auto reorder = core::multi_granularity_reorder(a, opts);
+  const auto layout = args.has_flag("naive-metadata")
+                          ? core::MetadataLayout::kNaive
+                          : core::MetadataLayout::kInterleaved;
+  const auto format = core::JigsawFormat::build(a, reorder, layout);
+  core::save_format_file(format, path);
+  const auto fp = format.memory_footprint();
+  out << "wrote " << path << ": BLOCK_TILE "
+      << format.tile_config().block_tile_m << ", "
+      << (reorder.success() ? "reorder success" : "K grew") << ", "
+      << fp.total() << " bytes ("
+      << 100.0 * static_cast<double>(fp.total()) /
+             (2.0 * static_cast<double>(a.rows()) *
+              static_cast<double>(a.cols()))
+      << "% of dense)\n";
+  return 0;
+}
+
+int cmd_run(const Args& args, std::ostream& out) {
+  fail_on_unknown_flags(args, {"n", "kernel", "verify", "seed", "device"});
+  JIGSAW_CHECK_MSG(args.positional().size() == 2,
+                   "run needs one input file\n" << kUsage);
+  const std::string input = args.positional()[1];
+  const std::size_t n = args.value_size("n", 256);
+  const std::uint64_t seed = args.value_size("seed", 1);
+  const std::string kernel = args.value("kernel", "jigsaw");
+  const bool verify = args.has_flag("verify");
+  gpusim::CostModel cm(gpusim::arch_by_name(args.value("device", "a100")));
+
+  // A .jsf plan runs the Jigsaw kernel straight from the saved format.
+  if (input.size() > 4 && input.substr(input.size() - 4) == ".jsf") {
+    JIGSAW_CHECK_MSG(kernel == "jigsaw",
+                     "a saved plan can only run the jigsaw kernel");
+    JIGSAW_CHECK_MSG(!verify,
+                     "--verify needs the original matrix; run the .mtx file");
+    const auto format = core::load_format_file(input);
+    const auto b = random_rhs(format.cols(), n, seed);
+    const auto report =
+        core::jigsaw_cost(format, n, core::KernelVersion::kV4, cm);
+    print_report(report, out);
+    return 0;
+  }
+
+  const auto dense = read_matrix_market_file(input);
+  const auto b = random_rhs(dense.cols(), n, seed);
+
+  std::optional<DenseMatrix<float>> c;
+  gpusim::KernelReport report;
+  if (kernel == "hybrid") {
+    const auto plan = core::hybrid_plan(dense, {});
+    auto run = core::hybrid_run(plan, dense, b, cm, {.compute_values = verify});
+    c = std::move(run.c);
+    report = std::move(run.report);
+    out << "routing: " << plan.total_dense_columns() << " dense-TC columns, "
+        << plan.total_cuda_columns() << " CUDA columns\n";
+  } else {
+    // Wrap the dense matrix as a v=1 vector-sparse operand for the common
+    // kernel interface.
+    DenseMatrix<std::uint8_t> mask(dense.rows(), dense.cols(), 0);
+    for (std::size_t r = 0; r < dense.rows(); ++r) {
+      for (std::size_t col = 0; col < dense.cols(); ++col) {
+        mask(r, col) = dense(r, col).is_zero() ? 0 : 1;
+      }
+    }
+    const auto a = VectorSparseMatrix::from_parts(1, std::move(mask),
+                                                  DenseMatrix<fp16_t>(dense));
+    std::unique_ptr<baselines::SpmmKernel> impl;
+    if (kernel == "jigsaw") {
+      impl = std::make_unique<baselines::JigsawSpmmKernel>();
+    } else {
+      for (auto& k : baselines::make_baselines()) {
+        std::string name = k->name();
+        std::transform(name.begin(), name.end(), name.begin(),
+                       [](unsigned char ch) { return std::tolower(ch); });
+        if (name == kernel) impl = std::move(k);
+      }
+    }
+    JIGSAW_CHECK_MSG(impl != nullptr, "unknown kernel " << kernel << "\n"
+                                                        << kUsage);
+    auto result = impl->run(a, b, cm, {.compute_values = verify});
+    c = std::move(result.c);
+    report = std::move(result.report);
+  }
+  print_report(report, out);
+  if (verify) {
+    const auto ref = reference_gemm(dense, b);
+    const double err = max_abs_diff(*c, ref);
+    const bool ok = allclose(*c, ref, dense.cols());
+    out << "verification:      max |error| " << err << " -> "
+        << (ok ? "OK" : "FAILED") << "\n";
+    return ok ? 0 : 1;
+  }
+  return 0;
+}
+
+int cmd_bench(const Args& args, std::ostream& out) {
+  fail_on_unknown_flags(args, {"n", "seed"});
+  JIGSAW_CHECK_MSG(args.positional().size() == 2,
+                   "bench needs one input file\n" << kUsage);
+  const auto dense = read_matrix_market_file(args.positional()[1]);
+  const std::size_t n = args.value_size("n", 256);
+  const auto b = random_rhs(dense.cols(), n, args.value_size("seed", 1));
+
+  DenseMatrix<std::uint8_t> mask(dense.rows(), dense.cols(), 0);
+  for (std::size_t r = 0; r < dense.rows(); ++r) {
+    for (std::size_t col = 0; col < dense.cols(); ++col) {
+      mask(r, col) = dense(r, col).is_zero() ? 0 : 1;
+    }
+  }
+  const auto a = VectorSparseMatrix::from_parts(1, std::move(mask),
+                                                DenseMatrix<fp16_t>(dense));
+  gpusim::CostModel cm;
+  auto kernels = baselines::make_baselines();
+  kernels.push_back(std::make_unique<baselines::JigsawSpmmKernel>());
+  double dense_us = 0;
+  out << "kernel        duration-us   speedup-vs-cuBLAS\n";
+  for (const auto& kernel : kernels) {
+    const auto r = kernel->run(a, b, cm, {.compute_values = false});
+    if (kernel->name() == "cuBLAS") dense_us = r.report.duration_us;
+    char line[96];
+    std::snprintf(line, sizeof(line), "%-12s %12.2f   %8.2fx\n",
+                  kernel->name().c_str(), r.report.duration_us,
+                  dense_us / r.report.duration_us);
+    out << line;
+  }
+  return 0;
+}
+
+}  // namespace
+
+Args::Args(int argc, const char* const* argv)
+    : Args(std::vector<std::string>(argv + std::min(argc, 1), argv + argc)) {}
+
+Args::Args(const std::vector<std::string>& tokens) {
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& t = tokens[i];
+    if (t.rfind("--", 0) == 0) {
+      const std::string name = t.substr(2);
+      JIGSAW_CHECK_MSG(!name.empty(), "stray -- argument");
+      if (i + 1 < tokens.size() && tokens[i + 1].rfind("--", 0) != 0) {
+        flags_.emplace_back(name, tokens[++i]);
+      } else {
+        flags_.emplace_back(name, "");  // boolean flag
+      }
+    } else {
+      positional_.push_back(t);
+    }
+  }
+}
+
+bool Args::has_flag(const std::string& name) const {
+  for (const auto& [n, v] : flags_) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+std::string Args::value(const std::string& name,
+                        const std::string& fallback) const {
+  for (const auto& [n, v] : flags_) {
+    if (n == name) return v;
+  }
+  return fallback;
+}
+
+std::size_t Args::value_size(const std::string& name,
+                             std::size_t fallback) const {
+  const std::string v = value(name);
+  if (v.empty()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const auto parsed = std::stoull(v, &pos);
+    JIGSAW_CHECK(pos == v.size());
+    return parsed;
+  } catch (const std::exception&) {
+    throw Error("--" + name + " expects an integer, got " + v);
+  }
+}
+
+double Args::value_double(const std::string& name, double fallback) const {
+  const std::string v = value(name);
+  if (v.empty()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double parsed = std::stod(v, &pos);
+    JIGSAW_CHECK(pos == v.size());
+    return parsed;
+  } catch (const std::exception&) {
+    throw Error("--" + name + " expects a number, got " + v);
+  }
+}
+
+std::vector<std::string> Args::flag_names() const {
+  std::vector<std::string> names;
+  names.reserve(flags_.size());
+  for (const auto& [n, v] : flags_) names.push_back(n);
+  return names;
+}
+
+int cli_main(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err) {
+  try {
+    const Args parsed(args);
+    if (parsed.positional().empty()) {
+      err << kUsage;
+      return 2;
+    }
+    const std::string& command = parsed.positional()[0];
+    if (command == "generate") return cmd_generate(parsed, out);
+    if (command == "info") return cmd_info(parsed, out);
+    if (command == "plan") return cmd_plan(parsed, out);
+    if (command == "run") return cmd_run(parsed, out);
+    if (command == "bench") return cmd_bench(parsed, out);
+    if (command == "help" || command == "--help") {
+      out << kUsage;
+      return 0;
+    }
+    err << "unknown command: " << command << "\n" << kUsage;
+    return 2;
+  } catch (const Error& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace jigsaw::cli

@@ -1,0 +1,49 @@
+// The `jigsaw` command-line tool, as a testable library.
+//
+// Subcommands:
+//   generate  synthesize a vector-sparse matrix       -> .mtx
+//   info      inspect a matrix: shape, sparsity, native 2:4 compliance,
+//             reorder outcome per BLOCK_TILE
+//   plan      reorder + build + save the format       -> .jsf
+//   run       simulate one kernel on A x B, print the report
+//   bench     run every kernel on the same problem, print the comparison
+//
+// The main() in tools/jigsaw_cli.cpp is a two-liner over cli_main so that
+// tests can drive the full command surface in-process.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace jigsaw::cli {
+
+/// Minimal flag parser: positional arguments plus --name value / --flag.
+class Args {
+ public:
+  Args(int argc, const char* const* argv);  // skips argv[0]
+  explicit Args(const std::vector<std::string>& tokens);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  bool has_flag(const std::string& name) const;
+  /// Value of --name, or fallback when absent. Throws if --name is present
+  /// without a value.
+  std::string value(const std::string& name,
+                    const std::string& fallback = "") const;
+  std::size_t value_size(const std::string& name, std::size_t fallback) const;
+  double value_double(const std::string& name, double fallback) const;
+
+  /// Flags nobody consumed — surfaced as errors by the commands.
+  std::vector<std::string> flag_names() const;
+
+ private:
+  std::vector<std::string> positional_;
+  std::vector<std::pair<std::string, std::string>> flags_;  // name -> value
+};
+
+/// Entry point: dispatches to the subcommand; returns the process exit
+/// code. All human-readable output goes to `out`, errors to `err`.
+int cli_main(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err);
+
+}  // namespace jigsaw::cli

@@ -1,0 +1,74 @@
+// Error-handling primitives used across the Jigsaw library.
+//
+// The library is exception-based: precondition violations throw
+// jigsaw::Error with a formatted message including the failing expression
+// and source location. Hot inner loops use JIGSAW_ASSERT, which compiles
+// out in NDEBUG builds; API boundaries use JIGSAW_CHECK, which is always on.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace jigsaw {
+
+/// Exception type thrown on any contract violation inside the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "JIGSAW_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+/// Builds the optional streamed message of JIGSAW_CHECK lazily.
+class CheckMessageBuilder {
+ public:
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+  std::string str() const { return os_.str(); }
+
+ private:
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace jigsaw
+
+/// Always-on contract check. Usage:
+///   JIGSAW_CHECK(m % 16 == 0) << "M must be a multiple of 16, got " << m;
+#define JIGSAW_CHECK(expr)                                                 \
+  if (!(expr))                                                             \
+    ::jigsaw::detail::throw_check_failure(                                 \
+        #expr, __FILE__, __LINE__,                                         \
+        ::jigsaw::detail::CheckMessageBuilder{}.str());                    \
+  else                                                                     \
+    (void)0
+
+/// Always-on contract check with streamed message.
+#define JIGSAW_CHECK_MSG(expr, msg_stream)                                 \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::jigsaw::detail::CheckMessageBuilder builder__;                     \
+      builder__ << msg_stream;                                             \
+      ::jigsaw::detail::throw_check_failure(#expr, __FILE__, __LINE__,     \
+                                            builder__.str());              \
+    }                                                                      \
+  } while (0)
+
+/// Debug-only assertion for hot paths.
+#ifdef NDEBUG
+#define JIGSAW_ASSERT(expr) (void)0
+#else
+#define JIGSAW_ASSERT(expr) JIGSAW_CHECK(expr)
+#endif

@@ -1,0 +1,40 @@
+// Minimal host-parallelism helpers.
+//
+// The reorder preprocessing and the block-level loops of the GPU execution
+// model are embarrassingly parallel over independent tiles; parallel_for
+// maps them onto OpenMP when available and falls back to a serial loop
+// otherwise, so the library builds on any toolchain.
+#pragma once
+
+#include <cstdint>
+
+#if defined(JIGSAW_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace jigsaw {
+
+/// Invokes fn(i) for i in [0, n), possibly in parallel. fn must be safe to
+/// run concurrently for distinct i (no shared mutable state without
+/// synchronization). Exceptions thrown by fn in parallel regions terminate;
+/// callers validate inputs before entering the loop.
+template <typename Fn>
+void parallel_for(std::int64_t n, Fn&& fn) {
+#if defined(JIGSAW_HAVE_OPENMP)
+#pragma omp parallel for schedule(dynamic, 1)
+  for (std::int64_t i = 0; i < n; ++i) fn(i);
+#else
+  for (std::int64_t i = 0; i < n; ++i) fn(i);
+#endif
+}
+
+/// Number of worker threads parallel_for will use.
+inline int parallel_workers() {
+#if defined(JIGSAW_HAVE_OPENMP)
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+}  // namespace jigsaw

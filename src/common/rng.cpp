@@ -1,0 +1,117 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace jigsaw {
+
+namespace {
+
+// splitmix64: used for seeding and seed mixing.
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+  // Guard against the all-zero state, which is a fixed point of xoshiro.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  JIGSAW_ASSERT(bound > 0);
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+float Rng::next_float() {
+  return static_cast<float>(next_u64() >> 40) * 0x1.0p-24f;
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+float Rng::uniform(float lo, float hi) {
+  return lo + (hi - lo) * next_float();
+}
+
+bool Rng::bernoulli(double p) { return next_double() < p; }
+
+float Rng::normal() {
+  // Box-Muller; draws until u1 is nonzero so log() is finite.
+  double u1 = 0.0;
+  do {
+    u1 = next_double();
+  } while (u1 <= 0.0);
+  const double u2 = next_double();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return static_cast<float>(r * std::cos(2.0 * 3.14159265358979323846 * u2));
+}
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+std::vector<std::uint32_t> Rng::sample_without_replacement(std::uint32_t n,
+                                                           std::uint32_t k) {
+  JIGSAW_CHECK(k <= n);
+  // Partial Fisher-Yates over an index vector; O(n) memory, O(n + k) time.
+  std::vector<std::uint32_t> idx(n);
+  for (std::uint32_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const auto j =
+        i + static_cast<std::uint32_t>(next_below(n - i));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t salt0,
+                       std::uint64_t salt1, std::uint64_t salt2) {
+  std::uint64_t x = seed;
+  std::uint64_t h = splitmix64(x);
+  x ^= salt0 + 0x9e3779b97f4a7c15ull;
+  h ^= splitmix64(x);
+  x ^= salt1 + 0xc2b2ae3d27d4eb4full;
+  h ^= splitmix64(x);
+  x ^= salt2 + 0x165667b19e3779f9ull;
+  h ^= splitmix64(x);
+  return h;
+}
+
+}  // namespace jigsaw

@@ -1,0 +1,68 @@
+// Lightweight non-owning 2-D views over contiguous row-major storage.
+//
+// Used at tile boundaries (e.g. handing a 16x16 MMA_TILE of the sparse
+// matrix to the reorder algorithm) without copies. Follows the spirit of
+// std::mdspan, which is not yet available in this toolchain's libstdc++.
+#pragma once
+
+#include <cstddef>
+
+#include <type_traits>
+
+#include "common/error.hpp"
+
+namespace jigsaw {
+
+/// Non-owning mutable view of a rows x cols block with a row stride (ld).
+template <typename T>
+class Span2d {
+ public:
+  Span2d() = default;
+  Span2d(T* data, std::size_t rows, std::size_t cols, std::size_t ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    JIGSAW_ASSERT(ld >= cols);
+  }
+
+  /// Converts Span2d<T> to Span2d<const T>.
+  template <typename U>
+    requires(std::is_const_v<T> && std::is_same_v<std::remove_const_t<T>, U>)
+  Span2d(const Span2d<U>& other)  // NOLINT(google-explicit-constructor)
+      : data_(other.data()),
+        rows_(other.rows()),
+        cols_(other.cols()),
+        ld_(other.ld()) {}
+
+  T& operator()(std::size_t r, std::size_t c) const {
+    JIGSAW_ASSERT(r < rows_ && c < cols_);
+    return data_[r * ld_ + c];
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t ld() const { return ld_; }
+  T* data() const { return data_; }
+
+  /// Sub-block view; [r0, r0+nr) x [c0, c0+nc) must be in range.
+  Span2d subview(std::size_t r0, std::size_t c0, std::size_t nr,
+                 std::size_t nc) const {
+    JIGSAW_ASSERT(r0 + nr <= rows_ && c0 + nc <= cols_);
+    return Span2d(data_ + r0 * ld_ + c0, nr, nc, ld_);
+  }
+
+  /// Pointer to the start of row r.
+  T* row(std::size_t r) const {
+    JIGSAW_ASSERT(r < rows_);
+    return data_ + r * ld_;
+  }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t ld_ = 0;
+};
+
+template <typename T>
+using ConstSpan2d = Span2d<const T>;
+
+}  // namespace jigsaw

@@ -1,0 +1,245 @@
+#include "core/format.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace jigsaw::core {
+
+namespace {
+
+constexpr std::size_t kPermEntries = kMmaTile;  // 16 per (slice, tile)
+constexpr std::size_t kValuesPerPair =
+    static_cast<std::size_t>(sptc::kTileRows) * sptc::kTileCompressedCols;
+constexpr std::size_t kMetaWordsPerPair = sptc::kTileRows;
+
+}  // namespace
+
+std::size_t JigsawFormat::pair_value_offset(std::uint32_t panel,
+                                            std::uint32_t slice,
+                                            std::uint32_t pair) const {
+  // Values are laid out panel-major; per panel: slice-major, pair-minor.
+  // Panel bases are derivable from the headers (pairs * slices * 256), but
+  // we precompute nothing: walk headers. Panels are few; callers in hot
+  // paths cache the result.
+  std::size_t base = 0;
+  for (std::uint32_t p = 0; p < panel; ++p) {
+    base += static_cast<std::size_t>(panels_[p].mma_pairs()) *
+            static_cast<std::size_t>(row_slices_per_panel()) * kValuesPerPair;
+  }
+  const std::uint32_t pairs = panels_[panel].mma_pairs();
+  JIGSAW_ASSERT(pair < pairs);
+  return base +
+         (static_cast<std::size_t>(slice) * pairs + pair) * kValuesPerPair;
+}
+
+std::size_t JigsawFormat::pair_metadata_index(std::uint32_t panel,
+                                              std::uint32_t slice,
+                                              std::uint32_t pair) const {
+  std::size_t base = 0;
+  for (std::uint32_t p = 0; p < panel; ++p) {
+    base += static_cast<std::size_t>(panels_[p].mma_pairs()) *
+            static_cast<std::size_t>(row_slices_per_panel()) *
+            kMetaWordsPerPair;
+  }
+  const std::uint32_t pairs = panels_[panel].mma_pairs();
+  JIGSAW_ASSERT(pair < pairs);
+  return base + (static_cast<std::size_t>(slice) * pairs + pair) *
+                    kMetaWordsPerPair;
+}
+
+JigsawFormat JigsawFormat::build(const DenseMatrix<fp16_t>& a,
+                                 const ReorderResult& reorder,
+                                 MetadataLayout layout) {
+  JIGSAW_CHECK_MSG(a.rows() == reorder.rows && a.cols() == reorder.cols,
+                   "reorder result does not match the matrix shape");
+  JigsawFormat f;
+  f.rows_ = a.rows();
+  f.cols_ = a.cols();
+  f.tile_ = reorder.tile;
+  f.layout_ = layout;
+
+  const int slices = f.row_slices_per_panel();
+  const std::size_t bt = static_cast<std::size_t>(f.tile_.block_tile_m);
+
+  for (std::size_t p = 0; p < reorder.panels.size(); ++p) {
+    const PanelReorder& panel = reorder.panels[p];
+    PanelHeader header;
+    header.col_idx_offset = static_cast<std::uint32_t>(f.col_idx_.size());
+    header.col_count = static_cast<std::uint32_t>(panel.col_idx.size());
+    header.tile_offset = static_cast<std::uint32_t>(f.tiles_.size());
+    header.tile_count = static_cast<std::uint32_t>(panel.tiles.size());
+    f.col_idx_.insert(f.col_idx_.end(), panel.col_idx.begin(),
+                      panel.col_idx.end());
+    for (const ColumnTileReorder& t : panel.tiles) {
+      f.tiles_.push_back(TileHeader{t.col_begin, t.col_count});
+    }
+    f.panels_.push_back(header);
+
+    // block_col_idx_array: slice-major, tile-minor, 16 entries each. The
+    // paper stores these as 4-byte integers (§4.6); we match.
+    for (int s = 0; s < slices; ++s) {
+      for (const ColumnTileReorder& t : panel.tiles) {
+        const MmaTilePermutation& perm =
+            t.row_slices[static_cast<std::size_t>(s)];
+        for (int j = 0; j < kMmaTile; ++j) {
+          f.block_col_idx_.push_back(perm.perm[static_cast<std::size_t>(j)]);
+        }
+      }
+    }
+
+    // Compressed values + metadata per (slice, mma pair).
+    const std::uint32_t pairs = header.mma_pairs();
+    for (int s = 0; s < slices; ++s) {
+      const std::size_t slice_row = p * bt + static_cast<std::size_t>(s) *
+                                                 kMmaTile;
+      for (std::uint32_t pair = 0; pair < pairs; ++pair) {
+        // Materialize the 16x32 logical tile in post-reorder column order.
+        DenseMatrix<fp16_t> logical(sptc::kTileRows, sptc::kTileLogicalCols);
+        for (int l = 0; l < sptc::kTileLogicalCols; ++l) {
+          const std::uint32_t tile_in_panel =
+              2 * pair + static_cast<std::uint32_t>(l / kMmaTile);
+          if (tile_in_panel >= header.tile_count) continue;  // zero pad
+          const ColumnTileReorder& t =
+              panel.tiles[static_cast<std::size_t>(tile_in_panel)];
+          const std::uint32_t pos =
+              t.row_slices[static_cast<std::size_t>(s)]
+                  .perm[static_cast<std::size_t>(l % kMmaTile)];
+          if (pos >= t.col_count) continue;  // virtual padding column
+          const std::uint32_t column = panel.col_idx[t.col_begin + pos];
+          for (int r = 0; r < sptc::kTileRows; ++r) {
+            const std::size_t row = slice_row + static_cast<std::size_t>(r);
+            if (row >= a.rows()) break;
+            logical(static_cast<std::size_t>(r), static_cast<std::size_t>(l)) =
+                a(row, column);
+          }
+        }
+        sptc::CompressedTile compressed;
+        const bool ok = sptc::compress_tile(logical.view(), compressed);
+        JIGSAW_CHECK_MSG(ok,
+                         "reordered tile violates 2:4 — reorder bug (panel "
+                             << p << ", slice " << s << ", pair " << pair
+                             << ")");
+        // Z-shaped swizzle: the two 16x8 halves of the compressed tile are
+        // stored contiguously, row-major within each half.
+        for (int blk = 0; blk < 2; ++blk) {
+          for (int r = 0; r < sptc::kTileRows; ++r) {
+            for (int c = 0; c < 8; ++c) {
+              f.values_.push_back(
+                  compressed.values[static_cast<std::size_t>(
+                      r * sptc::kTileCompressedCols + blk * 8 + c)]);
+            }
+          }
+        }
+        for (int r = 0; r < sptc::kTileRows; ++r) {
+          f.metadata_.push_back(compressed.metadata[static_cast<std::size_t>(r)]);
+        }
+      }
+    }
+  }
+
+  // Re-arrange metadata into the interleaved two-mma layout (§3.4.3):
+  // each aligned group of two pairs becomes 32 lane-indexed words. An
+  // orphan final pair keeps the naive layout.
+  if (layout == MetadataLayout::kInterleaved) {
+    for (std::uint32_t p = 0; p < f.panels_.size(); ++p) {
+      const std::uint32_t pairs = f.panels_[p].mma_pairs();
+      for (int s = 0; s < slices; ++s) {
+        for (std::uint32_t g = 0; g + 1 < pairs; g += 2) {
+          const std::size_t i0 =
+              f.pair_metadata_index(p, static_cast<std::uint32_t>(s), g);
+          std::array<std::uint32_t, 16> m0{}, m1{};
+          std::copy_n(f.metadata_.begin() + static_cast<std::ptrdiff_t>(i0),
+                      16, m0.begin());
+          std::copy_n(
+              f.metadata_.begin() + static_cast<std::ptrdiff_t>(i0 + 16), 16,
+              m1.begin());
+          const auto interleaved = sptc::interleave_metadata(m0, m1);
+          std::copy(interleaved.begin(), interleaved.end(),
+                    f.metadata_.begin() + static_cast<std::ptrdiff_t>(i0));
+        }
+      }
+    }
+  }
+  return f;
+}
+
+std::int64_t JigsawFormat::original_column(std::uint32_t panel,
+                                           std::uint32_t tile_in_panel,
+                                           std::uint32_t pos) const {
+  const PanelHeader& ph = panels_[panel];
+  JIGSAW_ASSERT(tile_in_panel < ph.tile_count);
+  const TileHeader& th = tiles_[ph.tile_offset + tile_in_panel];
+  if (pos >= th.col_count) return -1;
+  return col_idx_[ph.col_idx_offset + th.col_begin + pos];
+}
+
+std::uint32_t JigsawFormat::block_col_idx(std::uint32_t panel,
+                                          std::uint32_t slice,
+                                          std::uint32_t tile_in_panel,
+                                          std::uint32_t pos) const {
+  std::size_t base = 0;
+  for (std::uint32_t p = 0; p < panel; ++p) {
+    base += static_cast<std::size_t>(panels_[p].tile_count) *
+            static_cast<std::size_t>(row_slices_per_panel()) * kPermEntries;
+  }
+  const PanelHeader& ph = panels_[panel];
+  JIGSAW_ASSERT(tile_in_panel < ph.tile_count && pos < kPermEntries);
+  return block_col_idx_[base + (static_cast<std::size_t>(slice) *
+                                    ph.tile_count +
+                                tile_in_panel) *
+                                   kPermEntries +
+                        pos];
+}
+
+sptc::CompressedTile JigsawFormat::load_compressed_tile(
+    std::uint32_t panel, std::uint32_t slice, std::uint32_t pair) const {
+  sptc::CompressedTile tile;
+  const std::size_t voff = pair_value_offset(panel, slice, pair);
+  // Undo the Z-swizzle.
+  std::size_t src = voff;
+  for (int blk = 0; blk < 2; ++blk) {
+    for (int r = 0; r < sptc::kTileRows; ++r) {
+      for (int c = 0; c < 8; ++c) {
+        tile.values[static_cast<std::size_t>(r * sptc::kTileCompressedCols +
+                                             blk * 8 + c)] = values_[src++];
+      }
+    }
+  }
+
+  const std::uint32_t pairs = panels_[panel].mma_pairs();
+  if (layout_ == MetadataLayout::kNaive || (pair == pairs - 1 && pairs % 2)) {
+    const std::size_t moff = pair_metadata_index(panel, slice, pair);
+    std::copy_n(metadata_.begin() + static_cast<std::ptrdiff_t>(moff), 16,
+                tile.metadata.begin());
+  } else {
+    const std::uint32_t group_first = pair & ~1u;
+    const int f = static_cast<int>(pair & 1u);
+    const std::size_t goff = pair_metadata_index(panel, slice, group_first);
+    for (int w = 0; w < 16; ++w) {
+      const int lane = sptc::metadata_owner_lane(w, f);
+      tile.metadata[static_cast<std::size_t>(w)] =
+          metadata_[goff + static_cast<std::size_t>(lane)];
+    }
+  }
+  return tile;
+}
+
+JigsawFormat::Footprint JigsawFormat::memory_footprint() const {
+  Footprint fp;
+  fp.values = values_.size() * sizeof(fp16_t);
+  fp.metadata = metadata_.size() * sizeof(std::uint32_t);
+  fp.col_idx = col_idx_.size() * sizeof(std::uint32_t);
+  fp.block_col_idx = block_col_idx_.size() * sizeof(std::uint32_t);
+  fp.headers = panels_.size() * sizeof(PanelHeader) +
+               tiles_.size() * sizeof(TileHeader);
+  return fp;
+}
+
+double JigsawFormat::paper_formula_bytes(std::size_t m, std::size_t k,
+                                         int block_tile) {
+  const double mk = static_cast<double>(m) * static_cast<double>(k);
+  return 5.0 * mk / 8.0 + 4.0 * mk / block_tile + 4.0 * mk / kMmaTile;
+}
+
+}  // namespace jigsaw::core

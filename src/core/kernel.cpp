@@ -1,0 +1,446 @@
+#include "core/kernel.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "sptc/ldmatrix.hpp"
+#include "sptc/shapes.hpp"
+#include "sptc/mma_sp.hpp"
+
+namespace jigsaw::core {
+
+const char* to_string(KernelVersion v) {
+  switch (v) {
+    case KernelVersion::kV0: return "v0";
+    case KernelVersion::kV1: return "v1";
+    case KernelVersion::kV2: return "v2";
+    case KernelVersion::kV3: return "v3";
+    case KernelVersion::kV4: return "v4";
+  }
+  return "?";
+}
+
+KernelFeatures KernelFeatures::for_version(KernelVersion v) {
+  KernelFeatures f;
+  const int n = static_cast<int>(v);
+  f.padded_smem = n >= 1;
+  f.deep_pipeline = n >= 2;
+  f.interleaved_metadata = n >= 3;
+  f.tile_tuning = n >= 4;
+  return f;
+}
+
+JigsawPlan jigsaw_plan(const DenseMatrix<fp16_t>& a,
+                       const JigsawPlanOptions& options) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const KernelFeatures feats = KernelFeatures::for_version(options.version);
+
+  JigsawPlan plan;
+  plan.version = options.version;
+
+  std::vector<int> block_tiles;
+  if (feats.tile_tuning) {
+    block_tiles = {16, 32, 64};
+  } else {
+    block_tiles = {options.block_tile};
+  }
+  const MetadataLayout layout = feats.interleaved_metadata
+                                    ? MetadataLayout::kInterleaved
+                                    : MetadataLayout::kNaive;
+  for (const int bt : block_tiles) {
+    ReorderOptions ropts = options.reorder;
+    ropts.tile.block_tile_m = bt;
+    // V0 ships without any bank-conflict countermeasure, including the
+    // conflict-aware group selection inside the reorder (§3.4.1).
+    ropts.search.bank_conflict_aware = feats.padded_smem;
+    ReorderResult reorder = multi_granularity_reorder(a, ropts);
+    plan.formats.push_back(JigsawFormat::build(a, reorder, layout));
+    plan.reorders.push_back(std::move(reorder));
+  }
+
+  plan.preprocess_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return plan;
+}
+
+float Epilogue::apply(float x, std::size_t row) const {
+  if (bias != nullptr) {
+    JIGSAW_ASSERT(row < bias->size());
+    x += (*bias)[row];
+  }
+  switch (activation) {
+    case Activation::kNone:
+      break;
+    case Activation::kRelu:
+      x = x > 0.0f ? x : 0.0f;
+      break;
+    case Activation::kGelu: {
+      // tanh approximation, the form inference kernels fuse.
+      const float u =
+          0.7978845608f * (x + 0.044715f * x * x * x);
+      x = 0.5f * x * (1.0f + std::tanh(u));
+      break;
+    }
+  }
+  return x;
+}
+
+DenseMatrix<float> jigsaw_compute(const JigsawFormat& f,
+                                  const DenseMatrix<fp16_t>& b,
+                                  const Epilogue& epilogue) {
+  JIGSAW_CHECK_MSG(f.cols() == b.rows(), "SpMM shape mismatch: A cols "
+                                             << f.cols() << " vs B rows "
+                                             << b.rows());
+  const std::size_t m = f.rows(), n = b.cols();
+  const int bt = f.tile_config().block_tile_m;
+  const int slices = f.row_slices_per_panel();
+  DenseMatrix<float> c(m, n);
+
+  parallel_for(static_cast<std::int64_t>(f.panels().size()), [&](std::int64_t
+                                                                     pi) {
+    const auto p = static_cast<std::uint32_t>(pi);
+    const JigsawFormat::PanelHeader& panel = f.panels()[p];
+    const std::uint32_t pairs = panel.mma_pairs();
+    for (int s = 0; s < slices; ++s) {
+      const std::size_t row0 = static_cast<std::size_t>(pi) * bt +
+                               static_cast<std::size_t>(s) * kMmaTile;
+      if (row0 >= m) break;
+      const std::size_t mrows = std::min<std::size_t>(kMmaTile, m - row0);
+
+      // Stage every pair's fragment data once per slice: compressed tile
+      // plus the gathered B-row index for each of the 32 logical columns.
+      std::vector<sptc::CompressedTile> tiles(pairs);
+      std::vector<std::array<std::int64_t, sptc::kTileLogicalCols>> brows(
+          pairs);
+      for (std::uint32_t pair = 0; pair < pairs; ++pair) {
+        tiles[pair] =
+            f.load_compressed_tile(p, static_cast<std::uint32_t>(s), pair);
+        for (int l = 0; l < sptc::kTileLogicalCols; ++l) {
+          const std::uint32_t t =
+              2 * pair + static_cast<std::uint32_t>(l / kMmaTile);
+          if (t >= panel.tile_count) {
+            brows[pair][static_cast<std::size_t>(l)] = -1;
+            continue;
+          }
+          const std::uint32_t pos = f.block_col_idx(
+              p, static_cast<std::uint32_t>(s), t,
+              static_cast<std::uint32_t>(l % kMmaTile));
+          brows[pair][static_cast<std::size_t>(l)] =
+              f.original_column(p, t, pos);
+        }
+      }
+
+      DenseMatrix<fp16_t> btile(sptc::kTileLogicalCols, 8);
+      DenseMatrix<float> acc(kMmaTile, 8);
+      for (std::size_t n0 = 0; n0 < n; n0 += 8) {
+        const std::size_t nw = std::min<std::size_t>(8, n - n0);
+        std::fill(acc.data(), acc.data() + acc.size(), 0.0f);
+        auto accv = acc.view().subview(0, 0, kMmaTile, nw);
+        for (std::uint32_t pair = 0; pair < pairs; ++pair) {
+          for (int l = 0; l < sptc::kTileLogicalCols; ++l) {
+            const std::int64_t br = brows[pair][static_cast<std::size_t>(l)];
+            for (std::size_t j = 0; j < nw; ++j) {
+              btile(static_cast<std::size_t>(l), j) =
+                  br < 0 ? fp16_t{}
+                         : b(static_cast<std::size_t>(br), n0 + j);
+            }
+          }
+          sptc::mma_sp_m16n8k32(
+              tiles[pair],
+              btile.view().subview(0, 0, sptc::kTileLogicalCols, nw), accv);
+        }
+        for (std::size_t r = 0; r < mrows; ++r) {
+          for (std::size_t j = 0; j < nw; ++j) {
+            c(row0 + r, n0 + j) = epilogue.active()
+                                      ? epilogue.apply(acc(r, j), row0 + r)
+                                      : acc(r, j);
+          }
+        }
+      }
+    }
+  });
+  return c;
+}
+
+namespace {
+
+/// Per-panel structural measurements accumulated by the cost walk.
+struct PanelWalk {
+  gpusim::KernelCounters per_block;  ///< counters of one (panel, n-block)
+  double b_gmem_bytes = 0;           ///< gathered B bytes per block
+  double a_gmem_bytes = 0;           ///< format bytes per block
+};
+
+PanelWalk walk_panel(const JigsawFormat& f, std::uint32_t p,
+                     const KernelFeatures& feats, const JigsawTuning& tuning,
+                     const gpusim::ArchSpec& arch) {
+  const JigsawFormat::PanelHeader& panel = f.panels()[p];
+  const int slices = f.row_slices_per_panel();
+  const std::uint32_t pairs = panel.mma_pairs();
+  const std::uint32_t row_stride_halfs =
+      kBlockTileN + (feats.padded_smem ? kSmemRowPadHalfs : 0);
+
+  PanelWalk walk;
+  gpusim::KernelCounters& c = walk.per_block;
+  gpusim::SmemTracker bfrag(arch);
+
+  for (std::uint32_t pair = 0; pair < pairs; ++pair) {
+    // ---- Staging: B rows gathered through col_idx into shared memory.
+    std::uint32_t real_rows = 0;
+    for (int half = 0; half < 2; ++half) {
+      const std::uint32_t t = 2 * pair + static_cast<std::uint32_t>(half);
+      if (t >= panel.tile_count) continue;
+      real_rows += f.tiles()[panel.tile_offset + t].col_count;
+    }
+    const double b_bytes =
+        static_cast<double>(real_rows) * kBlockTileN * sizeof(fp16_t);
+    walk.b_gmem_bytes += b_bytes;
+    // Full 32-row staging is written to shared memory (virtual rows are
+    // zero-filled), 128 B per transaction.
+    c.smem_store_transactions += 32.0 * kBlockTileN * sizeof(fp16_t) / 128.0;
+    c.instructions += b_bytes / 512.0;  // cp.async: 16 B per thread
+
+    // ---- Staging: A-side format data (values, metadata, indices).
+    const double a_bytes =
+        slices * (f.values_per_pair() * sizeof(fp16_t) +
+                  f.metadata_words_per_pair() * sizeof(std::uint32_t) +
+                  2.0 * kMmaTile * sizeof(std::uint32_t)) +  // block_col_idx
+        32.0 * sizeof(std::uint32_t);                        // col_idx
+    walk.a_gmem_bytes += a_bytes;
+    c.smem_store_transactions += a_bytes / 128.0;
+    c.instructions += a_bytes / 512.0;
+
+    for (int s = 0; s < slices; ++s) {
+      // ---- A fragments: one ldmatrix.x4 over the Z-swizzled compressed
+      // tile per warp; the layout is conflict-free by construction.
+      c.smem_load_transactions += 4.0 * kWarpsPerBlock;
+      c.instructions += 1.0 * kWarpsPerBlock;
+
+      // ---- B fragments: ldmatrix.x4 following the per-slice column
+      // permutation; conflicts measured on the real addresses. All four
+      // warps and both n-chunks share the conflict structure (they read
+      // the same rows at shifted column segments).
+      std::array<std::uint32_t, 32> addr{};
+      for (int l = 0; l < sptc::kTileLogicalCols; ++l) {
+        const std::uint32_t t =
+            2 * pair + static_cast<std::uint32_t>(l / kMmaTile);
+        std::uint32_t pos;
+        if (t < panel.tile_count) {
+          pos = f.block_col_idx(p, static_cast<std::uint32_t>(s), t,
+                                static_cast<std::uint32_t>(l % kMmaTile));
+        } else {
+          pos = static_cast<std::uint32_t>(l % kMmaTile);
+        }
+        const std::uint32_t row =
+            static_cast<std::uint32_t>(l / kMmaTile) * kMmaTile + pos;
+        addr[static_cast<std::size_t>(l)] =
+            row * row_stride_halfs * static_cast<std::uint32_t>(sizeof(fp16_t));
+      }
+      const auto before_t = bfrag.load_transactions();
+      const auto before_c = bfrag.conflicts();
+      sptc::ldmatrix_x4(addr, bfrag);
+      const double dt = static_cast<double>(bfrag.load_transactions() -
+                                            before_t);
+      const double dc = static_cast<double>(bfrag.conflicts() - before_c);
+      const double replicas = 2.0 * kWarpsPerBlock;  // n-chunks x warps
+      c.smem_load_transactions += dt * replicas;
+      c.smem_bank_conflicts += dc * replicas;
+      c.instructions += 2.0 * kWarpsPerBlock;  // the ldmatrix issues
+
+      // ---- Metadata loads (§3.4.3). Naive: one half-warp load plus
+      // predication per (warp, slice, pair). Interleaved: one lane-indexed
+      // load feeds two consecutive pairs.
+      if (feats.interleaved_metadata) {
+        c.smem_load_transactions += 0.5 * kWarpsPerBlock;
+        c.instructions += 0.5 * kWarpsPerBlock;
+      } else {
+        // Half-warp load, replayed as two phases, plus predication around
+        // the idle lanes and the serialized dependency on the mma.
+        c.smem_load_transactions += 2.0 * kWarpsPerBlock;
+        c.instructions +=
+            (1.0 + tuning.naive_metadata_insts_per_mma) * kWarpsPerBlock;
+        c.short_scoreboard_warp_cycles +=
+            tuning.naive_metadata_stall * kWarpsPerBlock;
+      }
+
+      // ---- The mma.sp issues: two per warp (16-wide warp N tile).
+      c.instructions += 2.0 * kWarpsPerBlock;
+      c.sptc_macs += 2.0 * kWarpsPerBlock *
+                     static_cast<double>(sptc::kJigsawMma.macs());
+    }
+
+    // ---- Loop bookkeeping, pipeline barrier, and exposed latency.
+    c.instructions += tuning.loop_insts_per_kstep_per_warp * kWarpsPerBlock;
+    c.barriers += 1.0;
+    const double stall = feats.deep_pipeline
+                             ? tuning.deep_pipeline_stall_per_kstep
+                             : tuning.shallow_pipeline_stall_per_kstep;
+    c.long_scoreboard_warp_cycles += stall * kWarpsPerBlock;
+  }
+
+  // Short-scoreboard stalls scale with the shared-memory pressure this
+  // block generated (conflict replays included).
+  c.short_scoreboard_warp_cycles +=
+      tuning.short_stall_per_smem_transaction *
+      (c.smem_load_transactions + c.smem_store_transactions);
+
+  // ---- Epilogue: C tile written straight to global memory (fp16).
+  const double c_bytes = static_cast<double>(f.tile_config().block_tile_m) *
+                         kBlockTileN * sizeof(fp16_t);
+  c.dram_write_bytes += c_bytes;
+  c.instructions += c_bytes / 512.0;
+  return walk;
+}
+
+}  // namespace
+
+gpusim::KernelReport jigsaw_cost(const JigsawFormat& f, std::size_t n,
+                                 KernelVersion version,
+                                 const gpusim::CostModel& cost_model,
+                                 const JigsawTuning& tuning,
+                                 const Epilogue& epilogue) {
+  const KernelFeatures feats = KernelFeatures::for_version(version);
+  const gpusim::ArchSpec& arch = cost_model.arch();
+  const std::size_t num_panels = f.panels().size();
+  const std::size_t nblocks_per_panel = (n + kBlockTileN - 1) / kBlockTileN;
+
+  std::vector<PanelWalk> walks(num_panels);
+  parallel_for(static_cast<std::int64_t>(num_panels), [&](std::int64_t p) {
+    walks[static_cast<std::size_t>(p)] = walk_panel(
+        f, static_cast<std::uint32_t>(p), feats, tuning, arch);
+  });
+
+  gpusim::KernelCounters total;
+  double b_reads = 0, a_reads = 0;
+  for (const PanelWalk& w : walks) {
+    gpusim::KernelCounters per_panel = w.per_block;
+    per_panel.scale(static_cast<double>(nblocks_per_panel));
+    total += per_panel;
+    b_reads += w.b_gmem_bytes * static_cast<double>(nblocks_per_panel);
+    a_reads += w.a_gmem_bytes * static_cast<double>(nblocks_per_panel);
+  }
+
+  // Global-memory reuse: each distinct B byte and each panel's format data
+  // is fetched from DRAM once; repeats hit L2.
+  const double b_unique =
+      static_cast<double>(f.cols()) * static_cast<double>(n) * sizeof(fp16_t);
+  const double b_dram = std::min(b_reads, b_unique);
+  double a_unique = 0;
+  for (const PanelWalk& w : walks) a_unique += w.a_gmem_bytes;
+  total.dram_read_bytes += b_dram + a_unique;
+  total.l2_read_bytes += (b_reads - b_dram) + (a_reads - a_unique);
+
+  if (epilogue.active()) {
+    // Fused epilogue: a couple of CUDA-core ops per output element plus
+    // one pass over the bias vector; no extra C traffic (it is fused into
+    // the register write-back).
+    const double outputs =
+        static_cast<double>(f.rows()) * static_cast<double>(n);
+    const double ops_per_element =
+        (epilogue.bias != nullptr ? 1.0 : 0.0) +
+        (epilogue.activation == Epilogue::Activation::kGelu
+             ? 8.0
+             : (epilogue.activation == Epilogue::Activation::kRelu ? 1.0
+                                                                   : 0.0));
+    total.cuda_macs += outputs * ops_per_element;
+    total.instructions += outputs * ops_per_element / 64.0;
+    if (epilogue.bias != nullptr) {
+      total.dram_read_bytes += static_cast<double>(f.rows()) * 4.0;
+    }
+  }
+
+  gpusim::LaunchConfig launch;
+  launch.blocks = num_panels * nblocks_per_panel;
+  launch.threads_per_block = kThreadsPerBlock;
+  launch.smem_per_block = f.tile_config().smem_bytes();
+  launch.regs_per_thread = tuning.regs_per_thread;
+
+  std::string name = std::string("jigsaw_") + to_string(version) + "_bt" +
+                     std::to_string(f.tile_config().block_tile_m);
+  return cost_model.estimate(std::move(name), total, launch);
+}
+
+JigsawEventCost jigsaw_cost_event(const JigsawFormat& f, std::size_t n,
+                                  KernelVersion version,
+                                  const gpusim::CostModel& cost_model,
+                                  const JigsawTuning& tuning) {
+  JigsawEventCost out;
+  out.report = jigsaw_cost(f, n, version, cost_model, tuning);
+  const gpusim::ArchSpec& arch = cost_model.arch();
+  const KernelFeatures feats = KernelFeatures::for_version(version);
+  const std::size_t num_panels = f.panels().size();
+  const std::size_t nblocks_per_panel = (n + kBlockTileN - 1) / kBlockTileN;
+  const int bpsm = out.report.occupancy.blocks_per_sm;
+
+  // Per-block duration: each resident block receives a 1/blocks_per_sm
+  // share of its SM's pipes (and the grid-wide share of DRAM), so for
+  // uniform blocks the makespan matches the analytic bound.
+  std::vector<double> durations;
+  durations.reserve(num_panels * nblocks_per_panel);
+  for (std::uint32_t p = 0; p < num_panels; ++p) {
+    const PanelWalk walk = walk_panel(f, p, feats, tuning, arch);
+    const auto& c = walk.per_block;
+    const double share = static_cast<double>(bpsm);
+    const double t_tc =
+        (c.sptc_macs / arch.sptc_speedup + c.tc_fp16_macs) /
+        (arch.tc_fp16_mac_per_cycle / share);
+    const double t_smem =
+        (c.smem_load_transactions + c.smem_store_transactions) * share;
+    const double t_issue = c.instructions / (arch.issue_per_cycle / share);
+    const double dram_bytes =
+        walk.a_gmem_bytes + walk.b_gmem_bytes +
+        c.dram_write_bytes;  // per-block traffic, L2-or-DRAM combined
+    const double t_mem =
+        dram_bytes /
+        (arch.l2_bytes_per_cycle() /
+         (static_cast<double>(arch.num_sms) * share));
+    const double duration = std::max({t_tc, t_smem, t_issue, t_mem});
+    for (std::size_t nb = 0; nb < nblocks_per_panel; ++nb) {
+      durations.push_back(duration);
+    }
+  }
+
+  out.grid_order = gpusim::simulate_block_schedule(
+      durations, out.report.occupancy, arch, gpusim::IssueOrder::kGridOrder);
+  out.heaviest_first = gpusim::simulate_block_schedule(
+      durations, out.report.occupancy, arch,
+      gpusim::IssueOrder::kHeaviestFirst);
+
+  // Replace the analytic bound x wave factor with the event makespan; the
+  // stall/barrier/fixed terms are issue-structure costs, kept as-is.
+  out.report.duration_cycles = out.grid_order.makespan_cycles +
+                               out.report.breakdown.stalls +
+                               out.report.breakdown.barriers +
+                               arch.kernel_fixed_cycles;
+  out.report.duration_us = arch.cycles_to_us(out.report.duration_cycles);
+  return out;
+}
+
+JigsawRunResult jigsaw_run(const JigsawPlan& plan,
+                           const DenseMatrix<fp16_t>& b,
+                           const gpusim::CostModel& cost_model,
+                           const JigsawRunOptions& options) {
+  JIGSAW_CHECK_MSG(!plan.formats.empty(), "empty plan");
+  JigsawRunResult result;
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < plan.formats.size(); ++i) {
+    gpusim::KernelReport report =
+        jigsaw_cost(plan.formats[i], b.cols(), plan.version, cost_model,
+                    options.tuning, options.epilogue);
+    if (i == 0 || report.duration_cycles < result.report.duration_cycles) {
+      result.report = std::move(report);
+      best = i;
+    }
+  }
+  result.selected_block_tile = plan.formats[best].tile_config().block_tile_m;
+  if (options.compute_values) {
+    result.c = jigsaw_compute(plan.formats[best], b, options.epilogue);
+  }
+  return result;
+}
+
+}  // namespace jigsaw::core

@@ -1,0 +1,163 @@
+// The Jigsaw SpMM kernel (§3.1, §3.4): execution on the simulated A100.
+//
+// Each thread block computes a BLOCK_TILE_M x 64 tile of C; four warps
+// split the 64-wide N tile. Per k-step (one mma.sp pair of column tiles)
+// the block stages the gathered B rows in shared memory, the warps load A
+// fragments (Z-swizzled compressed values), B fragments (ldmatrix through
+// the — possibly padded — shared tile, following the per-slice column
+// permutation) and metadata (naive or interleaved layout), then issue
+// mma.sp.m16n8k32.
+//
+// The kernel has two faces sharing the same tiling:
+//   * a functional path that computes C exactly through the format and the
+//     functional SpTC (used by tests and examples), and
+//   * a cost walk that counts instructions, bytes, shared-memory
+//     transactions (bank conflicts measured by replaying the real ldmatrix
+//     address patterns), and stall cycles, which the gpusim cost model
+//     turns into the simulated duration (used by benchmarks).
+//
+// Kernel versions reproduce the paper's ablation (§4.4):
+//   V0  baseline, unpadded shared B tile (bank conflicts), 2-stage pipeline
+//   V1  + bank-conflict elimination via padding (§3.4.1)
+//   V2  + deepened pipeline breaking the col_idx -> B dependency (§3.4.2)
+//   V3  + interleaved metadata loading (§3.4.3)
+//   V4  + BLOCK_TILE tuning over {16, 32, 64}
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/format.hpp"
+#include "gpusim/cost_model.hpp"
+#include "gpusim/event_sim.hpp"
+
+namespace jigsaw::core {
+
+enum class KernelVersion : int { kV0 = 0, kV1 = 1, kV2 = 2, kV3 = 3, kV4 = 4 };
+
+const char* to_string(KernelVersion v);
+
+/// Per-version feature switches derived from KernelVersion.
+struct KernelFeatures {
+  bool padded_smem = false;        ///< V1+: 4-bank row padding of the B tile
+  bool deep_pipeline = false;      ///< V2+: 3-stage pipeline (§3.4.2)
+  bool interleaved_metadata = false;  ///< V3+: §3.4.3 layout
+  bool tile_tuning = false;        ///< V4: BLOCK_TILE in {16,32,64}
+
+  static KernelFeatures for_version(KernelVersion v);
+};
+
+/// Calibration constants of the latency model. The structural quantities
+/// (instructions, transactions, conflicts, bytes) are counted exactly from
+/// the data layout; these constants only set the magnitude of the exposed
+/// dependency stalls, and were calibrated once against the ablation
+/// metrics quoted in §4.4 (warp long scoreboard 1.82 -> 0.87 between the
+/// shallow and deep pipeline).
+struct JigsawTuning {
+  /// Exposed global-latency stall per k-step per warp with the shallow
+  /// 2-stage pipeline, where the col_idx -> B indirect load is serialized.
+  double shallow_pipeline_stall_per_kstep = 300.0;
+  /// Residual exposed stall with the deepened 3-stage pipeline.
+  double deep_pipeline_stall_per_kstep = 95.0;
+  /// Short-scoreboard stall per shared-memory transaction.
+  double short_stall_per_smem_transaction = 1.1;
+  /// Extra short-scoreboard stall per (warp, slice) on the naive metadata
+  /// path: the uncoalesced half-warp load serializes against the mma.
+  double naive_metadata_stall = 12.0;
+  /// Extra predication/branch instructions per mma for the naive metadata
+  /// path (half the warp idles while the other half loads its word).
+  double naive_metadata_insts_per_mma = 10.0;
+  /// Loop/index bookkeeping instructions per k-step per warp.
+  double loop_insts_per_kstep_per_warp = 14.0;
+  int regs_per_thread = 96;
+};
+
+/// One-time preprocessing product: reorder + format for one or (V4) three
+/// BLOCK_TILE configurations. The paper amortizes this over inference runs.
+struct JigsawPlan {
+  KernelVersion version = KernelVersion::kV4;
+  /// Candidate formats; one entry for V0..V3, up to three for V4.
+  std::vector<JigsawFormat> formats;
+  std::vector<ReorderResult> reorders;  ///< parallel to formats
+  double preprocess_seconds = 0.0;      ///< measured host reorder time
+};
+
+struct JigsawPlanOptions {
+  KernelVersion version = KernelVersion::kV4;
+  int block_tile = 64;  ///< used by V0..V3 (the ablation fixes 64)
+  ReorderOptions reorder{};
+};
+
+/// Runs the multi-granularity reorder and builds the format(s).
+JigsawPlan jigsaw_plan(const DenseMatrix<fp16_t>& a,
+                       const JigsawPlanOptions& options = {});
+
+/// Fused epilogue applied to the C tile in registers before the global
+/// write-back — the standard inference pattern C = act(A x B + bias).
+/// Fusing it is free bandwidth-wise (C is already in registers); the cost
+/// walk charges only the extra CUDA-core ops and the bias vector load.
+struct Epilogue {
+  enum class Activation : std::uint8_t { kNone, kRelu, kGelu };
+  Activation activation = Activation::kNone;
+  /// Optional per-output-row bias (length M).
+  const std::vector<float>* bias = nullptr;
+
+  bool active() const {
+    return activation != Activation::kNone || bias != nullptr;
+  }
+  /// Applies the epilogue to one value of output row `row`.
+  float apply(float x, std::size_t row) const;
+};
+
+struct JigsawRunResult {
+  std::optional<DenseMatrix<float>> c;  ///< set when compute_values
+  gpusim::KernelReport report;
+  int selected_block_tile = 0;  ///< the BLOCK_TILE V4 picked
+};
+
+struct JigsawRunOptions {
+  bool compute_values = true;  ///< run the functional path
+  JigsawTuning tuning{};
+  Epilogue epilogue{};         ///< fused bias/activation (§ inference use)
+};
+
+/// Executes the kernel against a dense RHS: always produces the simulated
+/// kernel report; optionally also the exact numeric result. For V4 plans
+/// the candidate with the lowest simulated duration is selected (the
+/// paper's empirical tuning).
+JigsawRunResult jigsaw_run(const JigsawPlan& plan,
+                           const DenseMatrix<fp16_t>& b,
+                           const gpusim::CostModel& cost_model,
+                           const JigsawRunOptions& options = {});
+
+/// Functional path only: computes C through the format + functional SpTC,
+/// applying the optional fused epilogue at write-back.
+DenseMatrix<float> jigsaw_compute(const JigsawFormat& format,
+                                  const DenseMatrix<fp16_t>& b,
+                                  const Epilogue& epilogue = {});
+
+/// Cost walk only: simulated report for one format at one kernel version.
+gpusim::KernelReport jigsaw_cost(const JigsawFormat& format, std::size_t n,
+                                 KernelVersion version,
+                                 const gpusim::CostModel& cost_model,
+                                 const JigsawTuning& tuning = {},
+                                 const Epilogue& epilogue = {});
+
+/// Event-level refinement of the cost walk: instead of the analytic wave
+/// factor, per-block durations (variable across panels — heavy panels keep
+/// more live columns) are dispatched through the gpusim block scheduler.
+/// Captures the load imbalance of skewed sparsity distributions and the
+/// benefit of heaviest-first block renumbering (the Sputnik row-swizzle
+/// idea applied to Jigsaw's panels).
+struct JigsawEventCost {
+  gpusim::KernelReport report;          ///< duration from the event schedule
+  gpusim::EventSimResult grid_order;    ///< hardware issue order
+  gpusim::EventSimResult heaviest_first;  ///< LPT-renumbered issue order
+};
+
+JigsawEventCost jigsaw_cost_event(const JigsawFormat& format, std::size_t n,
+                                  KernelVersion version,
+                                  const gpusim::CostModel& cost_model,
+                                  const JigsawTuning& tuning = {});
+
+}  // namespace jigsaw::core

@@ -1,0 +1,339 @@
+#include "core/mma_tile_reorder.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace jigsaw::core {
+
+namespace {
+
+constexpr std::uint16_t kFullSet = 0xffffu;
+
+/// One compatible column group of four tile positions.
+struct Quad {
+  std::uint16_t set = 0;                 // bit per tile position
+  std::array<std::uint8_t, 4> pos{};     // the four positions, ascending
+};
+
+/// A candidate solution: four pairwise-disjoint quads covering the tile.
+struct QuadCover {
+  std::array<Quad, 4> quads;
+};
+
+/// True when the real positions in `set` have pairwise-distinct residues
+/// mod 8, i.e. an ldmatrix stage over them touches eight distinct bank
+/// groups in the padded shared-memory layout.
+bool residue_complete(std::uint16_t set, int real_columns) {
+  std::uint8_t seen = 0;
+  for (int p = 0; p < kMmaTile; ++p) {
+    if (!(set & (1u << p)) || p >= real_columns) continue;
+    const std::uint8_t bit = static_cast<std::uint8_t>(1u << (p % 8));
+    if (seen & bit) return false;
+    seen |= bit;
+  }
+  return true;
+}
+
+MmaTilePermutation make_permutation(const QuadCover& cover, int real_columns,
+                                    int pairing) {
+  // pairing selects how the four quads combine into the two eight-column
+  // groups: 0 -> (0,1)(2,3), 1 -> (0,2)(1,3), 2 -> (0,3)(1,2).
+  static constexpr int kPairs[3][4] = {{0, 1, 2, 3}, {0, 2, 1, 3}, {0, 3, 1, 2}};
+  MmaTilePermutation p;
+  int out = 0;
+  for (int q = 0; q < 4; ++q) {
+    const Quad& quad = cover.quads[static_cast<std::size_t>(kPairs[pairing][q])];
+    for (int j = 0; j < 4; ++j) p.perm[out++] = quad.pos[j];
+  }
+  bool identity = true;
+  for (int j = 0; j < kMmaTile; ++j) identity &= (p.perm[j] == j);
+  p.is_identity = identity;
+
+  const std::uint16_t g1 =
+      cover.quads[static_cast<std::size_t>(kPairs[pairing][0])].set |
+      cover.quads[static_cast<std::size_t>(kPairs[pairing][1])].set;
+  const std::uint16_t g2 =
+      cover.quads[static_cast<std::size_t>(kPairs[pairing][2])].set |
+      cover.quads[static_cast<std::size_t>(kPairs[pairing][3])].set;
+  p.bank_conflict_free = residue_complete(g1, real_columns) &&
+                         residue_complete(g2, real_columns);
+  return p;
+}
+
+/// Picks the best pairing of a cover: conflict-free if any pairing is.
+MmaTilePermutation best_pairing(const QuadCover& cover, int real_columns) {
+  MmaTilePermutation best = make_permutation(cover, real_columns, 0);
+  for (int pairing = 1; pairing < 3 && !best.bank_conflict_free; ++pairing) {
+    MmaTilePermutation alt = make_permutation(cover, real_columns, pairing);
+    if (alt.bank_conflict_free) best = alt;
+  }
+  return best;
+}
+
+/// Randomized greedy exact-cover attempt over the quad list.
+std::optional<QuadCover> greedy_cover(const std::vector<Quad>& quads,
+                                      Rng& rng) {
+  QuadCover cover;
+  std::uint16_t used = 0;
+  // Candidate indices still disjoint from the chosen set.
+  std::vector<std::uint32_t> candidates(quads.size());
+  for (std::uint32_t i = 0; i < quads.size(); ++i) candidates[i] = i;
+
+  for (int chosen = 0; chosen < 4; ++chosen) {
+    if (candidates.empty()) return std::nullopt;
+    const std::uint32_t pick = static_cast<std::uint32_t>(
+        rng.next_below(candidates.size()));
+    const Quad& q = quads[candidates[pick]];
+    cover.quads[static_cast<std::size_t>(chosen)] = q;
+    used |= q.set;
+    // Filter candidates in place.
+    std::size_t w = 0;
+    for (const std::uint32_t idx : candidates) {
+      if ((quads[idx].set & used) == 0) candidates[w++] = idx;
+    }
+    candidates.resize(w);
+  }
+  return used == kFullSet ? std::optional<QuadCover>(cover) : std::nullopt;
+}
+
+}  // namespace
+
+bool quad_compatible(std::uint16_t a, std::uint16_t b, std::uint16_t c,
+                     std::uint16_t d) {
+  // Carry-save addition of the four one-bit-per-row masks; a row violates
+  // 2:4 when its count reaches three, i.e. the "fours" bit is set or both
+  // the "twos" and "ones" bits are.
+  std::uint16_t ones = 0, twos = 0, fours = 0;
+  for (const std::uint16_t m : {a, b, c, d}) {
+    const std::uint16_t carry1 = ones & m;
+    ones ^= m;
+    const std::uint16_t carry2 = twos & carry1;
+    twos ^= carry1;
+    fours |= carry2;
+  }
+  return static_cast<std::uint16_t>(fours | (twos & ones)) == 0;
+}
+
+bool tile_satisfies_two_four(std::span<const std::uint16_t> masks) {
+  JIGSAW_CHECK(masks.size() == kMmaTile);
+  for (int g = 0; g < 4; ++g) {
+    if (!quad_compatible(masks[4 * g], masks[4 * g + 1], masks[4 * g + 2],
+                         masks[4 * g + 3])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::array<std::uint16_t, kMmaTile> apply_permutation(
+    std::span<const std::uint16_t> col_masks, const MmaTilePermutation& p) {
+  JIGSAW_CHECK(col_masks.size() == kMmaTile);
+  std::array<std::uint16_t, kMmaTile> out{};
+  for (int j = 0; j < kMmaTile; ++j) out[j] = col_masks[p.perm[j]];
+  return out;
+}
+
+MmaTilePermutation two_per_group_permutation(int real_columns) {
+  JIGSAW_CHECK_MSG(real_columns >= 0 && real_columns <= 8,
+                   "two-per-group fallback requires <= 8 real columns, got "
+                       << real_columns);
+  MmaTilePermutation p;
+  bool slot_taken[kMmaTile] = {};
+  bool pre_used[kMmaTile] = {};
+  // Real column j goes to slot (j/2)*4 + (j%2): two per aligned group.
+  for (int j = 0; j < real_columns; ++j) {
+    const int slot = (j / 2) * 4 + (j % 2);
+    p.perm[static_cast<std::size_t>(slot)] = static_cast<std::uint8_t>(j);
+    slot_taken[slot] = true;
+    pre_used[j] = true;
+  }
+  // Fill the virtual slots so that each 8-column half covers all eight
+  // bank residues (the padding rows are still read by the ldmatrix stages,
+  // so their placement matters for conflicts).
+  for (int half = 0; half < 2; ++half) {
+    bool residue_used[8] = {};
+    for (int s = 8 * half; s < 8 * (half + 1); ++s) {
+      if (slot_taken[s]) {
+        residue_used[p.perm[static_cast<std::size_t>(s)] % 8] = true;
+      }
+    }
+    for (int s = 8 * half; s < 8 * (half + 1); ++s) {
+      if (slot_taken[s]) continue;
+      // Prefer an unused pre-position with an unused residue.
+      int pick = -1;
+      for (int pre = 0; pre < kMmaTile && pick < 0; ++pre) {
+        if (!pre_used[pre] && !residue_used[pre % 8]) pick = pre;
+      }
+      for (int pre = 0; pre < kMmaTile && pick < 0; ++pre) {
+        if (!pre_used[pre]) pick = pre;
+      }
+      p.perm[static_cast<std::size_t>(s)] = static_cast<std::uint8_t>(pick);
+      slot_taken[s] = true;
+      pre_used[pick] = true;
+      residue_used[pick % 8] = true;
+    }
+  }
+  bool identity = true;
+  for (int j = 0; j < kMmaTile; ++j) identity &= (p.perm[j] == j);
+  p.is_identity = identity;
+  std::uint16_t g1 = 0, g2 = 0;
+  for (int s = 0; s < 8; ++s) {
+    g1 |= static_cast<std::uint16_t>(1u << p.perm[static_cast<std::size_t>(s)]);
+    g2 |= static_cast<std::uint16_t>(
+        1u << p.perm[static_cast<std::size_t>(s + 8)]);
+  }
+  p.bank_conflict_free =
+      residue_complete(g1, kMmaTile) && residue_complete(g2, kMmaTile);
+  return p;
+}
+
+MmaTileSearchResult reorder_mma_tile(std::span<const std::uint16_t> col_masks,
+                                     int real_columns,
+                                     const MmaTileSearchOptions& options,
+                                     Rng& rng) {
+  JIGSAW_CHECK(col_masks.size() == kMmaTile);
+  JIGSAW_CHECK(real_columns >= 0 && real_columns <= kMmaTile);
+  MmaTileSearchResult result;
+
+  // Fast path: the tile already satisfies 2:4 in its current order.
+  if (tile_satisfies_two_four(col_masks)) {
+    MmaTilePermutation p;
+    for (int j = 0; j < kMmaTile; ++j) p.perm[j] = static_cast<std::uint8_t>(j);
+    p.is_identity = true;
+    p.bank_conflict_free = true;  // positions 0..7 span all residues
+    result.permutation = p;
+    return result;
+  }
+
+  // Fast infeasibility check: the four groups of a permuted tile can hold
+  // at most 2 nonzeros per row each, so any row with more than 8 nonzeros
+  // across the 16 columns can never comply, whatever the permutation.
+  // Evict the most-populated column touching the overloaded row.
+  for (int r = 0; r < kMmaTile; ++r) {
+    int row_count = 0;
+    for (int j = 0; j < kMmaTile; ++j) {
+      row_count += (col_masks[static_cast<std::size_t>(j)] >> r) & 1;
+    }
+    if (row_count <= 8) continue;
+    int victim = 0, victim_pop = -1;
+    for (int j = 0; j < real_columns; ++j) {
+      if (!((col_masks[static_cast<std::size_t>(j)] >> r) & 1)) continue;
+      const int pop = std::popcount(col_masks[static_cast<std::size_t>(j)]);
+      if (pop > victim_pop) {
+        victim = j;
+        victim_pop = pop;
+      }
+    }
+    result.evict_position = victim;
+    return result;
+  }
+
+  // Line 2-8 of Algorithm 1: enumerate all compatible four-column groups.
+  std::vector<Quad> quads;
+  quads.reserve(512);
+  std::array<std::uint32_t, kMmaTile> freq{};
+  for (int i = 0; i < kMmaTile; ++i) {
+    for (int j = i + 1; j < kMmaTile; ++j) {
+      for (int k = j + 1; k < kMmaTile; ++k) {
+        for (int w = k + 1; w < kMmaTile; ++w) {
+          if (!quad_compatible(col_masks[i], col_masks[j], col_masks[k],
+                               col_masks[w])) {
+            continue;
+          }
+          Quad q;
+          q.set = static_cast<std::uint16_t>((1u << i) | (1u << j) |
+                                             (1u << k) | (1u << w));
+          q.pos = {static_cast<std::uint8_t>(i), static_cast<std::uint8_t>(j),
+                   static_cast<std::uint8_t>(k), static_cast<std::uint8_t>(w)};
+          quads.push_back(q);
+          ++freq[i];
+          ++freq[j];
+          ++freq[k];
+          ++freq[w];
+        }
+      }
+    }
+  }
+  result.compatible_quads = static_cast<std::uint32_t>(quads.size());
+
+  const auto least_frequent_real = [&]() {
+    int best = 0;
+    for (int p = 1; p < real_columns; ++p) {
+      if (freq[p] < freq[best]) best = p;
+    }
+    return best;
+  };
+
+  // A position contained in no compatible group can never be covered.
+  for (int p = 0; p < kMmaTile; ++p) {
+    if (freq[p] == 0) {
+      result.evict_position = least_frequent_real();
+      return result;
+    }
+  }
+
+  std::optional<MmaTilePermutation> fallback;
+
+  // Randomized greedy exact-cover attempts (cheap; succeeds with high
+  // probability whenever compatible groups are plentiful).
+  for (int attempt = 0; attempt < options.greedy_attempts; ++attempt) {
+    if (auto cover = greedy_cover(quads, rng)) {
+      MmaTilePermutation p = best_pairing(*cover, real_columns);
+      if (p.bank_conflict_free || !options.bank_conflict_aware) {
+        result.permutation = p;
+        return result;
+      }
+      if (!fallback) fallback = p;
+    }
+  }
+
+  // Lines 9-17: bidirectional search. Disjoint quad pairs form
+  // eight-column groups; a group whose complement was already formed
+  // yields a full cover.
+  std::unordered_map<std::uint16_t, std::pair<std::uint32_t, std::uint32_t>>
+      octets;
+  octets.reserve(1024);
+  std::uint64_t iterations = 0;
+  std::uint64_t budget = options.max_pair_iterations;
+  for (std::uint32_t i = 0; i < quads.size() && iterations < budget; ++i) {
+    for (std::uint32_t j = i + 1; j < quads.size() && iterations < budget;
+         ++j) {
+      ++iterations;
+      if (quads[i].set & quads[j].set) continue;
+      const std::uint16_t octet =
+          static_cast<std::uint16_t>(quads[i].set | quads[j].set);
+      const std::uint16_t complement =
+          static_cast<std::uint16_t>(octet ^ kFullSet);
+      if (const auto it = octets.find(complement); it != octets.end()) {
+        QuadCover cover{{quads[it->second.first], quads[it->second.second],
+                         quads[i], quads[j]}};
+        MmaTilePermutation p = best_pairing(cover, real_columns);
+        if (p.bank_conflict_free || !options.bank_conflict_aware) {
+          result.permutation = p;
+          return result;
+        }
+        if (!fallback) {
+          fallback = p;
+          // Keep looking for a conflict-free scheme, but with a tighter
+          // budget now that correctness is already assured.
+          budget = std::min(budget,
+                            iterations + options.conflict_free_search_budget);
+        }
+      }
+      octets.emplace(octet, std::make_pair(i, j));
+    }
+  }
+
+  if (fallback) {
+    result.permutation = *fallback;
+    return result;
+  }
+  result.evict_position = least_frequent_real();
+  return result;
+}
+
+}  // namespace jigsaw::core

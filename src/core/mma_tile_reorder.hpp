@@ -1,0 +1,94 @@
+// MMA_TILE-granularity column reorder (Algorithm 1 of the paper).
+//
+// Input: one 16-row x 16-column tile of the sparse operand, described by a
+// 16-bit nonzero row mask per column position (virtual padding columns have
+// an empty mask). Output: a column permutation such that every aligned
+// group of four permuted columns has at most two nonzeros per row — the 2:4
+// pattern the sparse tensor core requires — or failure plus the eviction
+// hint used by the reorder-retry of §3.2.
+//
+// The search follows the paper's bidirectional scheme: enumerate all
+// "compatible column groups" of four columns, combine disjoint pairs into
+// eight-column groups, and look for two disjoint eight-column groups that
+// cover the tile. Two engineering additions keep the cost bounded without
+// changing outcomes: an identity fast path (most tiles at high sparsity
+// already comply), and randomized greedy cover attempts that find a
+// solution quickly when compatible groups are plentiful (the exhaustive
+// search still runs when greedy fails). Among valid solutions, schemes
+// whose eight-column groups span all eight shared-memory bank residues are
+// preferred, implementing the conflict-aware selection of §3.4.1.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "common/rng.hpp"
+#include "core/tile_config.hpp"
+
+namespace jigsaw::core {
+
+/// Column permutation of one 16x16 MMA_TILE for one 16-row slice.
+/// perm[j] is the pre-reorder position of the column placed at position j.
+struct MmaTilePermutation {
+  std::array<std::uint8_t, kMmaTile> perm{};
+  bool is_identity = false;
+  /// True when each 8-column half of the permutation covers all eight bank
+  /// residues (mod 8) among real columns, so ldmatrix stages are
+  /// conflict-free in the padded shared-memory layout.
+  bool bank_conflict_free = false;
+};
+
+/// Tuning knobs of the tile search.
+struct MmaTileSearchOptions {
+  bool bank_conflict_aware = true;
+  int greedy_attempts = 40;
+  /// Iteration budget of the exhaustive eight-column-group construction;
+  /// bounds worst-case tiles without affecting the common cases.
+  std::uint64_t max_pair_iterations = 150000;
+  /// Extra budget spent looking for a conflict-free scheme after a valid
+  /// but conflicting one was found.
+  std::uint64_t conflict_free_search_budget = 6000;
+};
+
+/// Outcome of one tile search.
+struct MmaTileSearchResult {
+  std::optional<MmaTilePermutation> permutation;
+  /// On failure: the position (0..15) of the column that appears least
+  /// frequently in all compatible four-column groups — the reorder-retry
+  /// eviction candidate of §3.2.
+  int evict_position = -1;
+  /// Number of compatible four-column groups found (diagnostic).
+  std::uint32_t compatible_quads = 0;
+};
+
+/// Checks whether four column masks form a compatible column group: no row
+/// with three or more nonzeros across the four columns.
+bool quad_compatible(std::uint16_t a, std::uint16_t b, std::uint16_t c,
+                     std::uint16_t d);
+
+/// Runs Algorithm 1 on one slice. `col_masks` holds exactly 16 entries
+/// (bit r = nonzero in row r); virtual padding columns must be 0.
+/// `real_columns` is the number of leading entries that are real (used by
+/// the bank-conflict preference and the eviction hint).
+MmaTileSearchResult reorder_mma_tile(std::span<const std::uint16_t> col_masks,
+                                     int real_columns,
+                                     const MmaTileSearchOptions& options,
+                                     Rng& rng);
+
+/// Builds the guaranteed-success permutation that places at most two real
+/// columns in each four-column group (used by the tail-splitting fallback;
+/// requires real_columns <= 8). Any two columns per group satisfy 2:4
+/// regardless of content.
+MmaTilePermutation two_per_group_permutation(int real_columns);
+
+/// Applies a permutation: permuted_masks[j] = col_masks[perm[j]].
+/// Exposed for tests and for the format builder.
+std::array<std::uint16_t, kMmaTile> apply_permutation(
+    std::span<const std::uint16_t> col_masks, const MmaTilePermutation& p);
+
+/// True when the aligned four-column groups of `masks` all satisfy 2:4.
+bool tile_satisfies_two_four(std::span<const std::uint16_t> masks);
+
+}  // namespace jigsaw::core

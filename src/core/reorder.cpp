@@ -1,0 +1,236 @@
+#include "core/reorder.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+
+namespace jigsaw::core {
+
+namespace {
+
+/// Collects the panel's nonzero columns in original order (the BLOCK_TILE
+/// granularity reorder: zero columns conceptually move to the end and are
+/// never stored).
+std::vector<std::uint32_t> live_columns(const DenseMatrix<fp16_t>& a,
+                                        std::size_t panel,
+                                        std::size_t row_begin,
+                                        std::size_t row_end,
+                                        const ReorderOptions& options) {
+  std::vector<std::uint32_t> live;
+  live.reserve(a.cols());
+  for (std::size_t c = 0; c < a.cols(); ++c) {
+    if (options.column_filter &&
+        !options.column_filter(panel, static_cast<std::uint32_t>(c))) {
+      continue;  // routed to another compute unit (hybrid extension)
+    }
+    bool any = false;
+    for (std::size_t r = row_begin; r < row_end && !any; ++r) {
+      any = !a(r, c).is_zero();
+    }
+    if (any) live.push_back(static_cast<std::uint32_t>(c));
+  }
+  return live;
+}
+
+PanelReorder reorder_panel(const DenseMatrix<fp16_t>& a,
+                           std::size_t panel_index,
+                           std::size_t panel_row_begin,
+                           const ReorderOptions& options, Rng rng) {
+  const TileConfig& tile = options.tile;
+  const std::size_t row_end =
+      std::min(panel_row_begin + static_cast<std::size_t>(tile.block_tile_m),
+               a.rows());
+  const int row_slices = tile.row_tiles_per_panel();
+
+  PanelReorder panel;
+  panel.col_idx =
+      live_columns(a, panel_index, panel_row_begin, row_end, options);
+  panel.zero_columns =
+      static_cast<std::uint32_t>(a.cols() - panel.col_idx.size());
+
+  std::size_t i = 0;
+  while (i < panel.col_idx.size()) {
+    std::uint32_t count = static_cast<std::uint32_t>(
+        std::min<std::size_t>(kMmaTile, panel.col_idx.size() - i));
+    int evictions_this_tile = 0;
+
+    for (;;) {
+      // Attempt Algorithm 1 on every 16-row slice of the panel for the
+      // current window of columns.
+      std::vector<MmaTilePermutation> slices;
+      slices.reserve(static_cast<std::size_t>(row_slices));
+      int evict_position = -1;
+      for (int s = 0; s < row_slices; ++s) {
+        const std::size_t slice_row =
+            panel_row_begin + static_cast<std::size_t>(s) * kMmaTile;
+        const auto masks = slice_column_masks(
+            a, slice_row,
+            std::span<const std::uint32_t>(panel.col_idx.data() + i, count));
+        const MmaTileSearchResult res = reorder_mma_tile(
+            masks, static_cast<int>(count), options.search, rng);
+        if (!res.permutation) {
+          evict_position = res.evict_position;
+          break;
+        }
+        slices.push_back(*res.permutation);
+      }
+
+      if (evict_position < 0) {
+        ColumnTileReorder t;
+        t.col_begin = static_cast<std::uint32_t>(i);
+        t.col_count = count;
+        t.row_slices = std::move(slices);
+        panel.tiles.push_back(std::move(t));
+        i += count;
+        break;
+      }
+
+      if (panel.col_idx.size() - i > kMmaTile &&
+          evictions_this_tile < options.eviction_limit_per_tile) {
+        // Reorder-retry (§3.2): move the least-compatible column to the
+        // end of the panel; the window pulls in the next column.
+        const std::size_t victim = i + static_cast<std::size_t>(evict_position);
+        const std::uint32_t column = panel.col_idx[victim];
+        panel.col_idx.erase(panel.col_idx.begin() +
+                            static_cast<std::ptrdiff_t>(victim));
+        panel.col_idx.push_back(column);
+        ++panel.evictions;
+        ++evictions_this_tile;
+        count = static_cast<std::uint32_t>(
+            std::min<std::size_t>(kMmaTile, panel.col_idx.size() - i));
+        continue;
+      }
+
+      // Tail (or retry-exhausted) fallback: place at most two columns per
+      // aligned group, which satisfies 2:4 unconditionally. Consumes up to
+      // eight columns per tile, so the panel may grow past K/16 tiles —
+      // counted as a reorder failure but still a correct layout.
+      const std::uint32_t take = static_cast<std::uint32_t>(
+          std::min<std::size_t>(8, panel.col_idx.size() - i));
+      ColumnTileReorder t;
+      t.col_begin = static_cast<std::uint32_t>(i);
+      t.col_count = take;
+      t.row_slices.assign(static_cast<std::size_t>(row_slices),
+                          two_per_group_permutation(static_cast<int>(take)));
+      panel.tiles.push_back(std::move(t));
+      panel.used_split_fallback = true;
+      i += take;
+      break;
+    }
+  }
+  return panel;
+}
+
+}  // namespace
+
+std::array<std::uint16_t, kMmaTile> slice_column_masks(
+    const DenseMatrix<fp16_t>& a, std::size_t row_begin,
+    std::span<const std::uint32_t> columns) {
+  JIGSAW_CHECK(columns.size() <= kMmaTile);
+  std::array<std::uint16_t, kMmaTile> masks{};
+  const std::size_t row_end =
+      std::min(row_begin + static_cast<std::size_t>(kMmaTile), a.rows());
+  for (std::size_t j = 0; j < columns.size(); ++j) {
+    std::uint16_t m = 0;
+    for (std::size_t r = row_begin; r < row_end; ++r) {
+      if (!a(r, columns[j]).is_zero()) {
+        m |= static_cast<std::uint16_t>(1u << (r - row_begin));
+      }
+    }
+    masks[j] = m;
+  }
+  return masks;
+}
+
+ReorderResult multi_granularity_reorder(const DenseMatrix<fp16_t>& a,
+                                        const ReorderOptions& options) {
+  options.tile.validate();
+  JIGSAW_CHECK_MSG(a.rows() > 0 && a.cols() > 0, "empty matrix");
+
+  ReorderResult result;
+  result.tile = options.tile;
+  result.rows = a.rows();
+  result.cols = a.cols();
+
+  const std::size_t bt = static_cast<std::size_t>(options.tile.block_tile_m);
+  const std::size_t num_panels = (a.rows() + bt - 1) / bt;
+  result.panels.resize(num_panels);
+
+  parallel_for(static_cast<std::int64_t>(num_panels), [&](std::int64_t p) {
+    Rng rng(mix_seed(options.seed, static_cast<std::uint64_t>(p)));
+    result.panels[static_cast<std::size_t>(p)] = reorder_panel(
+        a, static_cast<std::size_t>(p), static_cast<std::size_t>(p) * bt,
+        options, std::move(rng));
+  });
+  return result;
+}
+
+bool ReorderResult::success() const {
+  // §4.3: "reordered data can satisfy the 2:4 sparse data pattern while
+  // maintaining the K no bigger than the original matrix". Tail splitting
+  // that still fits inside the original (16-aligned) K counts as success;
+  // any panel whose layout grew past it does not.
+  const std::uint32_t limit =
+      static_cast<std::uint32_t>(round_up(cols, kMmaTile));
+  for (const PanelReorder& p : panels) {
+    if (p.padded_cols() > limit) return false;
+  }
+  return true;
+}
+
+std::uint32_t ReorderResult::max_padded_cols() const {
+  std::uint32_t m = 0;
+  for (const PanelReorder& p : panels) m = std::max(m, p.padded_cols());
+  return m;
+}
+
+double ReorderResult::mean_padded_cols() const {
+  if (panels.empty()) return 0.0;
+  double sum = 0.0;
+  for (const PanelReorder& p : panels) sum += p.padded_cols();
+  return sum / static_cast<double>(panels.size());
+}
+
+std::uint64_t ReorderResult::total_evictions() const {
+  std::uint64_t sum = 0;
+  for (const PanelReorder& p : panels) sum += p.evictions;
+  return sum;
+}
+
+std::uint64_t ReorderResult::total_zero_columns() const {
+  std::uint64_t sum = 0;
+  for (const PanelReorder& p : panels) sum += p.zero_columns;
+  return sum;
+}
+
+double ReorderResult::identity_fraction() const {
+  std::uint64_t total = 0, identity = 0;
+  for (const PanelReorder& p : panels) {
+    for (const ColumnTileReorder& t : p.tiles) {
+      for (const MmaTilePermutation& s : t.row_slices) {
+        ++total;
+        identity += s.is_identity;
+      }
+    }
+  }
+  return total == 0 ? 1.0
+                    : static_cast<double>(identity) / static_cast<double>(total);
+}
+
+double ReorderResult::conflict_free_fraction() const {
+  std::uint64_t total = 0, free_count = 0;
+  for (const PanelReorder& p : panels) {
+    for (const ColumnTileReorder& t : p.tiles) {
+      for (const MmaTilePermutation& s : t.row_slices) {
+        ++total;
+        free_count += s.bank_conflict_free;
+      }
+    }
+  }
+  return total == 0
+             ? 1.0
+             : static_cast<double>(free_count) / static_cast<double>(total);
+}
+
+}  // namespace jigsaw::core

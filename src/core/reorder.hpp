@@ -1,0 +1,101 @@
+// Multi-granularity sparsity reorder (§3.2 of the paper).
+//
+// The sparse LHS is processed in BLOCK_TILE-row panels. Within each panel:
+//   1. BLOCK_TILE granularity: all-zero columns are moved to the end and
+//      skipped; the surviving original column ids form col_idx_array.
+//   2. MMA_TILE granularity: each run of 16 surviving columns is reordered
+//      per 16-row slice (Algorithm 1) so every aligned group of four
+//      columns satisfies 2:4. When a tile cannot be reordered, the
+//      reorder-retry evicts the least-compatible column to the end of the
+//      panel and tries again; a guaranteed two-columns-per-group splitting
+//      handles the tail so preprocessing always terminates with a valid
+//      (possibly wider-than-K) layout.
+//
+// A matrix "reorders successfully" in the paper's §4.3 sense when no panel
+// grew beyond the original (16-aligned) column count and no severe retry
+// (tail splitting) was needed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/fp16.hpp"
+#include "core/mma_tile_reorder.hpp"
+#include "core/tile_config.hpp"
+#include "matrix/dense.hpp"
+
+namespace jigsaw::core {
+
+struct ReorderOptions {
+  TileConfig tile{};                 ///< BLOCK_TILE selection
+  MmaTileSearchOptions search{};     ///< Algorithm 1 knobs
+  int eviction_limit_per_tile = 64;  ///< retries before tail splitting
+  std::uint64_t seed = 0x517cc1b727220a95ull;  ///< greedy-shuffle seed
+  /// Optional per-panel column filter: when set, only columns for which
+  /// filter(panel, column) is true participate in the reorder; the rest
+  /// are treated like zero columns. Used by the hybrid extension (§4.7)
+  /// to route dense or ultra-sparse columns to other compute units.
+  std::function<bool(std::size_t panel, std::uint32_t column)> column_filter;
+};
+
+/// One reordered column tile of a panel: 16 column slots, the leading
+/// `col_count` of which are real columns col_idx[col_begin .. col_begin +
+/// col_count); the rest are virtual all-zero padding. Each 16-row slice of
+/// the panel has its own permutation.
+struct ColumnTileReorder {
+  std::uint32_t col_begin = 0;
+  std::uint32_t col_count = 0;
+  std::vector<MmaTilePermutation> row_slices;  ///< BLOCK_TILE/16 entries
+};
+
+/// Reorder outcome for one BLOCK_TILE-row panel.
+struct PanelReorder {
+  /// Original column ids of the panel's nonzero columns, in final
+  /// (post-retry) order — the top-level col_idx_array of the format.
+  std::vector<std::uint32_t> col_idx;
+  std::vector<ColumnTileReorder> tiles;
+  std::uint32_t zero_columns = 0;  ///< all-zero columns skipped
+  std::uint32_t evictions = 0;     ///< reorder-retry column moves
+  bool used_split_fallback = false;
+
+  /// Columns after padding every tile to 16 — the panel's effective K.
+  std::uint32_t padded_cols() const {
+    return static_cast<std::uint32_t>(tiles.size()) * kMmaTile;
+  }
+};
+
+/// Whole-matrix reorder outcome.
+struct ReorderResult {
+  TileConfig tile{};
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<PanelReorder> panels;
+
+  /// §4.3 success: every panel kept K no bigger than the (16-aligned)
+  /// original and no tail splitting was required.
+  bool success() const;
+  std::uint32_t max_padded_cols() const;
+  double mean_padded_cols() const;
+  std::uint64_t total_evictions() const;
+  std::uint64_t total_zero_columns() const;
+  /// Fraction of MMA-tile slices solved by the identity fast path.
+  double identity_fraction() const;
+  /// Fraction of slices whose permutation is bank-conflict-free.
+  double conflict_free_fraction() const;
+};
+
+/// Runs the multi-granularity sparsity reorder. Rows are processed in
+/// BLOCK_TILE panels (the final panel may be shorter; it is handled as a
+/// zero-padded full panel). Deterministic for a fixed seed. Panels are
+/// processed in parallel.
+ReorderResult multi_granularity_reorder(const DenseMatrix<fp16_t>& a,
+                                        const ReorderOptions& options = {});
+
+/// Extracts the nonzero row-mask of each of the 16 columns of a tile for
+/// one 16-row slice. Exposed for tests.
+std::array<std::uint16_t, kMmaTile> slice_column_masks(
+    const DenseMatrix<fp16_t>& a, std::size_t row_begin,
+    std::span<const std::uint32_t> columns);
+
+}  // namespace jigsaw::core

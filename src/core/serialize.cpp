@@ -1,0 +1,153 @@
+#include "core/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace jigsaw::core {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4a494753;  // "JIGS"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  JIGSAW_CHECK_MSG(is.good(), "truncated format stream");
+  return v;
+}
+
+template <typename T>
+void write_vector(std::ostream& os, const std::vector<T>& v) {
+  write_pod<std::uint64_t>(os, v.size());
+  if (!v.empty()) {
+    os.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(T)));
+  }
+}
+
+template <typename T>
+std::vector<T> read_vector(std::istream& is, std::uint64_t max_elements) {
+  const auto n = read_pod<std::uint64_t>(is);
+  JIGSAW_CHECK_MSG(n <= max_elements,
+                   "format stream declares " << n << " elements, limit "
+                                             << max_elements);
+  std::vector<T> v(n);
+  if (n > 0) {
+    is.read(reinterpret_cast<char*>(v.data()),
+            static_cast<std::streamsize>(n * sizeof(T)));
+    JIGSAW_CHECK_MSG(is.good(), "truncated format stream");
+  }
+  return v;
+}
+
+// Sanity bound: no serialized array may exceed 1G elements.
+constexpr std::uint64_t kMaxElements = 1ull << 30;
+
+}  // namespace
+
+void save_format(const JigsawFormat& f, std::ostream& os) {
+  write_pod(os, kMagic);
+  write_pod(os, kVersion);
+  write_pod<std::uint64_t>(os, f.rows_);
+  write_pod<std::uint64_t>(os, f.cols_);
+  write_pod<std::int32_t>(os, f.tile_.block_tile_m);
+  write_pod<std::uint8_t>(os, static_cast<std::uint8_t>(f.layout_));
+  write_vector(os, f.panels_);
+  write_vector(os, f.tiles_);
+  write_vector(os, f.col_idx_);
+  write_vector(os, f.block_col_idx_);
+  write_vector(os, f.values_);
+  write_vector(os, f.metadata_);
+  JIGSAW_CHECK_MSG(os.good(), "failed to write format stream");
+}
+
+JigsawFormat load_format(std::istream& is) {
+  JIGSAW_CHECK_MSG(read_pod<std::uint32_t>(is) == kMagic,
+                   "not a Jigsaw format stream (bad magic)");
+  JIGSAW_CHECK_MSG(read_pod<std::uint32_t>(is) == kVersion,
+                   "unsupported format version");
+  JigsawFormat f;
+  f.rows_ = read_pod<std::uint64_t>(is);
+  f.cols_ = read_pod<std::uint64_t>(is);
+  f.tile_.block_tile_m = read_pod<std::int32_t>(is);
+  f.tile_.validate();
+  const auto layout = read_pod<std::uint8_t>(is);
+  JIGSAW_CHECK_MSG(layout <= 1, "bad metadata layout tag");
+  f.layout_ = static_cast<MetadataLayout>(layout);
+
+  f.panels_ = read_vector<JigsawFormat::PanelHeader>(is, kMaxElements);
+  f.tiles_ = read_vector<JigsawFormat::TileHeader>(is, kMaxElements);
+  f.col_idx_ = read_vector<std::uint32_t>(is, kMaxElements);
+  f.block_col_idx_ = read_vector<std::uint32_t>(is, kMaxElements);
+  f.values_ = read_vector<fp16_t>(is, kMaxElements);
+  f.metadata_ = read_vector<std::uint32_t>(is, kMaxElements);
+
+  // Cross-validate every count against the headers so a corrupted blob is
+  // rejected before any accessor can run off the end of an array.
+  const std::size_t bt = static_cast<std::size_t>(f.tile_.block_tile_m);
+  JIGSAW_CHECK_MSG(f.panels_.size() == (f.rows_ + bt - 1) / bt,
+                   "panel count does not match matrix shape");
+  const auto slices = static_cast<std::size_t>(f.row_slices_per_panel());
+  std::size_t tiles = 0, pairs = 0, cols = 0;
+  for (const auto& p : f.panels_) {
+    JIGSAW_CHECK_MSG(p.col_idx_offset == cols && p.tile_offset == tiles,
+                     "panel offsets are not contiguous");
+    JIGSAW_CHECK_MSG(p.col_count <= f.cols_, "panel col_count exceeds K");
+    cols += p.col_count;
+    tiles += p.tile_count;
+    pairs += p.mma_pairs();
+  }
+  JIGSAW_CHECK_MSG(f.col_idx_.size() == cols, "col_idx_array size mismatch");
+  JIGSAW_CHECK_MSG(f.tiles_.size() == tiles, "tile header count mismatch");
+  JIGSAW_CHECK_MSG(f.block_col_idx_.size() == tiles * slices * kMmaTile,
+                   "block_col_idx_array size mismatch");
+  JIGSAW_CHECK_MSG(
+      f.values_.size() == pairs * slices * f.values_per_pair(),
+      "values array size mismatch");
+  JIGSAW_CHECK_MSG(
+      f.metadata_.size() == pairs * slices * f.metadata_words_per_pair(),
+      "metadata array size mismatch");
+  for (const auto& p : f.panels_) {
+    std::uint32_t next = 0;
+    for (std::uint32_t t = 0; t < p.tile_count; ++t) {
+      const auto& th = f.tiles_[p.tile_offset + t];
+      JIGSAW_CHECK_MSG(th.col_begin == next && th.col_count >= 1 &&
+                           th.col_count <= kMmaTile,
+                       "tile header out of range");
+      next += th.col_count;
+    }
+    JIGSAW_CHECK_MSG(next == p.col_count, "tiles do not cover the panel");
+  }
+  for (const auto c : f.col_idx_) {
+    JIGSAW_CHECK_MSG(c < f.cols_, "column index out of range");
+  }
+  for (const auto perm : f.block_col_idx_) {
+    JIGSAW_CHECK_MSG(perm < kMmaTile, "permutation entry out of range");
+  }
+  return f;
+}
+
+void save_format_file(const JigsawFormat& format, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  JIGSAW_CHECK_MSG(os.is_open(), "cannot open " << path << " for writing");
+  save_format(format, os);
+}
+
+JigsawFormat load_format_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  JIGSAW_CHECK_MSG(is.is_open(), "cannot open " << path);
+  return load_format(is);
+}
+
+}  // namespace jigsaw::core

@@ -1,0 +1,32 @@
+// Binary serialization of the reorder-aware storage format.
+//
+// The reorder is one-time preprocessing amortized over inference runs
+// (§3.1); persisting its product lets a deployment reorder offline and
+// ship the compressed operand next to the model weights. The encoding is
+// a small versioned header followed by the flat arrays, all little-endian
+// (the library targets little-endian hosts; loading validates every count
+// against the header and the stream length, so truncated or corrupted
+// blobs are rejected instead of crashing).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/format.hpp"
+
+namespace jigsaw::core {
+
+/// Writes the format to a binary stream. Throws jigsaw::Error on I/O
+/// failure.
+void save_format(const JigsawFormat& format, std::ostream& os);
+
+/// Reads a format written by save_format. Throws jigsaw::Error on
+/// malformed input (bad magic, unsupported version, inconsistent counts,
+/// truncation).
+JigsawFormat load_format(std::istream& is);
+
+/// Convenience file wrappers.
+void save_format_file(const JigsawFormat& format, const std::string& path);
+JigsawFormat load_format_file(const std::string& path);
+
+}  // namespace jigsaw::core

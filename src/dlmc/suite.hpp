@@ -1,0 +1,69 @@
+// DLMC-like benchmark suite (synthetic stand-in for the Google DLMC
+// dataset used in the paper's evaluation).
+//
+// DLMC collects weight matrices of pruned Transformer/ResNet models; the
+// paper replaces each scalar nonzero with a 1-D column vector of width
+// v in {2,4,8} and evaluates sparsities {80, 90, 95, 98}%. We reproduce
+// the same statistical object: matrices with the shape distribution of
+// transformer layers (K from 64 to 4608, as quoted in §4.3), random
+// vector pruning at matched density, deterministic per (shape, sparsity,
+// v, seed) so every benchmark regenerates identical inputs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "matrix/vector_sparse.hpp"
+
+namespace jigsaw::dlmc {
+
+/// One (M, K) LHS shape of the suite.
+struct Shape {
+  std::size_t m = 0;
+  std::size_t k = 0;
+  std::string label() const {
+    return std::to_string(m) + "x" + std::to_string(k);
+  }
+};
+
+/// Transformer-body shapes mirroring the DLMC distribution (attention
+/// projections, FFN up/down, plus the small-K edge cases the paper calls
+/// out in §4.3).
+std::vector<Shape> default_shapes();
+
+/// A compact subset for quick runs (used by smoke benchmarks).
+std::vector<Shape> small_shapes();
+
+/// The sparsity grid of the evaluation (§4.1).
+inline const std::vector<double>& sparsities() {
+  static const std::vector<double> s{0.80, 0.90, 0.95, 0.98};
+  return s;
+}
+
+/// The vector widths of the evaluation.
+inline const std::vector<std::size_t>& vector_widths() {
+  static const std::vector<std::size_t> v{2, 4, 8};
+  return v;
+}
+
+/// Output-matrix widths swept in Figure 10.
+inline const std::vector<std::size_t>& output_widths() {
+  static const std::vector<std::size_t> n{64, 256, 512};
+  return n;
+}
+
+/// Deterministically generates the suite matrix for one configuration.
+/// The same (shape, sparsity, v, base_seed, method) always yields the same
+/// matrix regardless of which other configurations are generated. The
+/// paper's evaluation uses the random-pruning sub-dataset; magnitude and
+/// variational mirror DLMC's other pruning methods.
+VectorSparseMatrix make_lhs(const Shape& shape, double sparsity,
+                            std::size_t v, std::uint64_t base_seed = 2024,
+                            PruningMethod method = PruningMethod::kRandom);
+
+/// Generates the dense RHS for a given K x N, deterministic per seed.
+DenseMatrix<fp16_t> make_rhs(std::size_t k, std::size_t n,
+                             std::uint64_t base_seed = 2024);
+
+}  // namespace jigsaw::dlmc

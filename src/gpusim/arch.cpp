@@ -1,0 +1,23 @@
+#include "gpusim/arch.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/error.hpp"
+
+namespace jigsaw::gpusim {
+
+const ArchSpec& arch_by_name(const std::string& name) {
+  std::string key = name;
+  std::transform(key.begin(), key.end(), key.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (key == "a100" || key == "a100-40g") return a100();
+  if (key == "a100-80g") return a100_80g();
+  if (key == "h100" || key == "h100-sxm") return h100_sxm();
+  JIGSAW_CHECK_MSG(false, "unknown device '" << name
+                                             << "' (known: a100, a100-80g, "
+                                                "h100)");
+  return a100();  // unreachable
+}
+
+}  // namespace jigsaw::gpusim

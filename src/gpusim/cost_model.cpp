@@ -1,0 +1,100 @@
+#include "gpusim/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace jigsaw::gpusim {
+
+double TimeBreakdown::bound() const {
+  return std::max({tensor_core, cuda_core, shared_memory, issue, dram, l2});
+}
+
+const char* TimeBreakdown::limiter_name() const {
+  const double b = bound();
+  if (b == tensor_core) return "tensor_core";
+  if (b == cuda_core) return "cuda_core";
+  if (b == shared_memory) return "shared_memory";
+  if (b == dram) return "dram";
+  if (b == l2) return "l2";
+  return "issue";
+}
+
+KernelReport KernelReport::sequence(const std::string& name,
+                                    const KernelReport& a,
+                                    const KernelReport& b) {
+  KernelReport r;
+  r.name = name;
+  r.counters = a.counters;
+  r.counters += b.counters;
+  r.launch = a.launch;  // representative; blocks summed for reference
+  r.launch.blocks = a.launch.blocks + b.launch.blocks;
+  r.occupancy = a.occupancy;
+  r.breakdown = a.breakdown;  // breakdown of the first kernel, for reference
+  r.duration_cycles = a.duration_cycles + b.duration_cycles;
+  r.duration_us = a.duration_us + b.duration_us;
+  return r;
+}
+
+KernelReport CostModel::estimate(std::string name,
+                                 const KernelCounters& c,
+                                 const LaunchConfig& launch) const {
+  const ArchSpec& arch = *arch_;
+  KernelReport report;
+  report.name = std::move(name);
+  report.counters = c;
+  report.launch = launch;
+  report.occupancy = compute_occupancy(launch, arch);
+
+  const double sms = static_cast<double>(arch.num_sms);
+
+  TimeBreakdown t;
+  // Tensor-core pipe: dense MACs at full cost, sparse MACs at the logical
+  // shape divided by the 2:4 speedup, int8 at its own rate converted to the
+  // fp16 pipe's time base.
+  const double tc_equivalent_macs =
+      c.tc_fp16_macs + c.sptc_macs / arch.sptc_speedup +
+      c.tc_int8_macs * (arch.tc_fp16_mac_per_cycle / arch.tc_int8_mac_per_cycle);
+  t.tensor_core = tc_equivalent_macs / (arch.tc_fp16_mac_per_cycle * sms);
+  t.cuda_core = c.cuda_macs / (arch.cuda_fp16_mac_per_cycle * sms);
+  // One shared-memory transaction occupies the SM's LSU for one cycle.
+  t.shared_memory =
+      (c.smem_load_transactions + c.smem_store_transactions) / sms;
+  t.issue = c.instructions / (arch.issue_per_cycle * sms);
+  t.dram = (c.dram_read_bytes + c.dram_write_bytes) /
+           arch.dram_bytes_per_cycle();
+  t.l2 = (c.l2_read_bytes + c.dram_read_bytes + c.dram_write_bytes) /
+         arch.l2_bytes_per_cycle();
+
+  // Exposed stalls: a stall on one warp is hidden if another resident warp
+  // can issue. With W resident warps per SM the expected exposed fraction
+  // of the summed warp-stall cycles is 1/W.
+  const double resident_warps =
+      std::max(1, report.occupancy.warps_per_sm);
+  t.stalls = (c.long_scoreboard_warp_cycles +
+              c.short_scoreboard_warp_cycles) /
+             (sms * resident_warps);
+  // Each barrier drains roughly the shared-memory latency.
+  t.barriers = c.barriers * arch.smem_latency_cycles / (sms * resident_warps);
+
+  report.breakdown = t;
+
+  // Launch quantization: work is distributed block-wise over the SMs, so
+  // the busiest SM runs ceil(blocks/num_sms) blocks while the average runs
+  // blocks/num_sms. For launches smaller than the SM count this also
+  // charges the idle SMs (factor num_sms/blocks).
+  double wave_factor = 1.0;
+  if (launch.blocks > 0) {
+    const double per_sm = static_cast<double>(launch.blocks) / sms;
+    wave_factor = std::ceil(per_sm) / per_sm;
+  }
+
+  report.duration_cycles =
+      t.bound() * wave_factor + t.stalls + t.barriers +
+      arch.kernel_fixed_cycles;
+  report.duration_us = arch.cycles_to_us(report.duration_cycles);
+  return report;
+}
+
+}  // namespace jigsaw::gpusim

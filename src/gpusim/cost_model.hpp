@@ -1,0 +1,78 @@
+// Converts kernel counters + launch configuration into a simulated
+// duration, reproducing the structure of an in-order throughput model with
+// latency hiding:
+//
+//   duration = max(resource times) * wave_quantization + exposed_stalls
+//              + fixed overhead
+//
+// where each resource time is the counter total divided by the machine
+// throughput, wave quantization charges partially-filled waves, and stalls
+// are divided by the number of resident warps that can hide them.
+#pragma once
+
+#include <string>
+
+#include "gpusim/arch.hpp"
+#include "gpusim/counters.hpp"
+#include "gpusim/occupancy.hpp"
+
+namespace jigsaw::gpusim {
+
+/// Per-resource time breakdown (cycles, before wave quantization).
+struct TimeBreakdown {
+  double tensor_core = 0;
+  double cuda_core = 0;
+  double shared_memory = 0;
+  double issue = 0;
+  double dram = 0;
+  double l2 = 0;
+  double stalls = 0;     ///< exposed scoreboard stalls after hiding
+  double barriers = 0;   ///< barrier drain cost
+
+  double bound() const;              ///< max of the overlappable terms
+  const char* limiter_name() const;  ///< which term is the bound
+};
+
+/// Everything a benchmark or test wants to know about one simulated kernel.
+struct KernelReport {
+  std::string name;
+  KernelCounters counters;
+  LaunchConfig launch;
+  Occupancy occupancy;
+  TimeBreakdown breakdown;
+  double duration_cycles = 0;
+  double duration_us = 0;
+
+  // Nsight-style derived metrics (average stall cycles per issued
+  // instruction, as reported in the paper's ablation).
+  double warp_long_scoreboard() const {
+    return counters.instructions > 0
+               ? counters.long_scoreboard_warp_cycles / counters.instructions
+               : 0.0;
+  }
+  double warp_short_scoreboard() const {
+    return counters.instructions > 0
+               ? counters.short_scoreboard_warp_cycles / counters.instructions
+               : 0.0;
+  }
+
+  /// Combines two kernels run back-to-back (SparTA's split execution).
+  static KernelReport sequence(const std::string& name, const KernelReport& a,
+                               const KernelReport& b);
+};
+
+class CostModel {
+ public:
+  explicit CostModel(const ArchSpec& arch = a100()) : arch_(&arch) {}
+
+  /// Produces the report for one kernel launch.
+  KernelReport estimate(std::string name, const KernelCounters& counters,
+                        const LaunchConfig& launch) const;
+
+  const ArchSpec& arch() const { return *arch_; }
+
+ private:
+  const ArchSpec* arch_;
+};
+
+}  // namespace jigsaw::gpusim

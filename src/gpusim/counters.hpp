@@ -1,0 +1,92 @@
+// Raw event counters accumulated by a kernel's cost walk.
+//
+// Kernels walk their exact tiling/loop structure over the real input data
+// and count what the hardware would do: MACs issued per pipe, bytes moved
+// per memory level, shared-memory transactions (including measured bank
+// conflict replays), instructions, and critical-path stall cycles. The
+// CostModel then converts the counters into a duration.
+#pragma once
+
+#include <cstdint>
+
+namespace jigsaw::gpusim {
+
+struct KernelCounters {
+  // --- Compute pipes (multiply-accumulate counts) ------------------------
+  /// Dense tensor-core fp16 MACs, counting the full issued shape including
+  /// padding lanes (an m16n8k16 HMMA always costs 16*8*16 MACs).
+  double tc_fp16_macs = 0;
+  /// Sparse tensor-core MACs counted at the *logical* (uncompressed) shape:
+  /// one mma.sp.m16n8k32 contributes 16*8*32. The cost model divides by the
+  /// SpTC speedup factor, so a 2:4 op costs half its logical MACs.
+  double sptc_macs = 0;
+  /// Integer tensor-core MACs (Magicube's quantized path).
+  double tc_int8_macs = 0;
+  /// CUDA-core fp16 FMAs (Sputnik and the SparTA residue kernel).
+  double cuda_macs = 0;
+
+  // --- Memory traffic ------------------------------------------------------
+  double dram_read_bytes = 0;
+  double dram_write_bytes = 0;
+  /// Reads served by L2 (data reused across blocks within the launch).
+  double l2_read_bytes = 0;
+
+  // --- Shared memory --------------------------------------------------------
+  /// Transactions including conflict replays.
+  double smem_load_transactions = 0;
+  double smem_store_transactions = 0;
+  /// Extra transactions that were conflict replays (subset of the above),
+  /// reported like Nsight's shared_ld/st_bank_conflict counters.
+  double smem_bank_conflicts = 0;
+
+  // --- Issue / latency -------------------------------------------------------
+  /// Warp-instructions issued (all pipes).
+  double instructions = 0;
+  /// Stall cycles on warp critical paths waiting on *global* memory that the
+  /// software pipeline failed to cover (Nsight: long scoreboard).
+  double long_scoreboard_warp_cycles = 0;
+  /// Stall cycles waiting on *shared* memory (Nsight: short scoreboard).
+  double short_scoreboard_warp_cycles = 0;
+  /// Block-wide barriers executed (each costs roughly a pipeline drain).
+  double barriers = 0;
+
+  KernelCounters& operator+=(const KernelCounters& o) {
+    tc_fp16_macs += o.tc_fp16_macs;
+    sptc_macs += o.sptc_macs;
+    tc_int8_macs += o.tc_int8_macs;
+    cuda_macs += o.cuda_macs;
+    dram_read_bytes += o.dram_read_bytes;
+    dram_write_bytes += o.dram_write_bytes;
+    l2_read_bytes += o.l2_read_bytes;
+    smem_load_transactions += o.smem_load_transactions;
+    smem_store_transactions += o.smem_store_transactions;
+    smem_bank_conflicts += o.smem_bank_conflicts;
+    instructions += o.instructions;
+    long_scoreboard_warp_cycles += o.long_scoreboard_warp_cycles;
+    short_scoreboard_warp_cycles += o.short_scoreboard_warp_cycles;
+    barriers += o.barriers;
+    return *this;
+  }
+
+  /// Scales all counters (used to extrapolate a sampled tile walk to the
+  /// full grid when every block is statistically identical).
+  KernelCounters& scale(double f) {
+    tc_fp16_macs *= f;
+    sptc_macs *= f;
+    tc_int8_macs *= f;
+    cuda_macs *= f;
+    dram_read_bytes *= f;
+    dram_write_bytes *= f;
+    l2_read_bytes *= f;
+    smem_load_transactions *= f;
+    smem_store_transactions *= f;
+    smem_bank_conflicts *= f;
+    instructions *= f;
+    long_scoreboard_warp_cycles *= f;
+    short_scoreboard_warp_cycles *= f;
+    barriers *= f;
+    return *this;
+  }
+};
+
+}  // namespace jigsaw::gpusim

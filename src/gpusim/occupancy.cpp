@@ -1,0 +1,67 @@
+#include "gpusim/occupancy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace jigsaw::gpusim {
+
+Occupancy compute_occupancy(const LaunchConfig& launch, const ArchSpec& arch) {
+  JIGSAW_CHECK_MSG(launch.threads_per_block > 0 &&
+                       launch.threads_per_block % arch.warp_size == 0,
+                   "threads_per_block must be a positive multiple of "
+                       << arch.warp_size << ", got "
+                       << launch.threads_per_block);
+  JIGSAW_CHECK_MSG(launch.smem_per_block <= arch.smem_per_block_max,
+                   "block shared memory " << launch.smem_per_block
+                                          << " exceeds device limit "
+                                          << arch.smem_per_block_max);
+  Occupancy occ;
+
+  const int by_threads = arch.max_threads_per_sm / launch.threads_per_block;
+  const int by_blocks = arch.max_blocks_per_sm;
+  const int by_smem =
+      launch.smem_per_block == 0
+          ? arch.max_blocks_per_sm
+          : static_cast<int>(arch.smem_per_sm_bytes / launch.smem_per_block);
+  const std::size_t regs_per_block =
+      static_cast<std::size_t>(launch.regs_per_thread) *
+      static_cast<std::size_t>(launch.threads_per_block);
+  const int by_regs =
+      regs_per_block == 0
+          ? arch.max_blocks_per_sm
+          : static_cast<int>(arch.regs_per_sm / regs_per_block);
+
+  occ.blocks_per_sm = std::min({by_threads, by_blocks, by_smem, by_regs});
+  // Tie-breaking preference mirrors how occupancy calculators report the
+  // binding resource: threads first, then shared memory, then registers.
+  if (occ.blocks_per_sm == by_threads) {
+    occ.limiter = "threads";
+  } else if (occ.blocks_per_sm == by_smem) {
+    occ.limiter = "shared_memory";
+  } else if (occ.blocks_per_sm == by_regs) {
+    occ.limiter = "registers";
+  } else {
+    occ.limiter = "block_cap";
+  }
+  JIGSAW_CHECK_MSG(occ.blocks_per_sm >= 1,
+                   "kernel does not fit on an SM (limiter: " << occ.limiter
+                                                             << ")");
+
+  occ.warps_per_sm =
+      occ.blocks_per_sm * (launch.threads_per_block / arch.warp_size);
+
+  const double per_wave =
+      static_cast<double>(arch.num_sms) * occ.blocks_per_sm;
+  if (launch.blocks == 0) {
+    occ.waves = 0.0;
+    return occ;
+  }
+  occ.waves = static_cast<double>(launch.blocks) / per_wave;
+  occ.full_waves = static_cast<std::uint64_t>(occ.waves);
+  occ.tail_fraction = occ.waves - static_cast<double>(occ.full_waves);
+  return occ;
+}
+
+}  // namespace jigsaw::gpusim

@@ -1,0 +1,34 @@
+// Occupancy calculator: how many thread blocks of a given resource
+// footprint fit on one SM, and how many waves a launch needs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "gpusim/arch.hpp"
+
+namespace jigsaw::gpusim {
+
+/// Static launch description of a kernel.
+struct LaunchConfig {
+  std::uint64_t blocks = 0;          ///< grid size
+  int threads_per_block = 128;       ///< must be a multiple of warp_size
+  std::size_t smem_per_block = 0;    ///< bytes of dynamic+static shared mem
+  int regs_per_thread = 64;
+};
+
+/// Occupancy outcome for a launch on a given architecture.
+struct Occupancy {
+  int blocks_per_sm = 0;    ///< resident blocks per SM
+  int warps_per_sm = 0;     ///< resident warps per SM
+  double waves = 0.0;       ///< ceil(blocks / (SMs * blocks_per_sm)), fractional tail
+  std::uint64_t full_waves = 0;
+  double tail_fraction = 0.0;  ///< occupancy of the final partial wave
+  const char* limiter = "none";  ///< which resource capped blocks_per_sm
+};
+
+/// Computes resident blocks per SM limited by threads, smem, registers and
+/// the hardware block cap, then derives the wave structure of the launch.
+Occupancy compute_occupancy(const LaunchConfig& launch, const ArchSpec& arch);
+
+}  // namespace jigsaw::gpusim

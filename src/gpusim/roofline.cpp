@@ -1,0 +1,69 @@
+#include "gpusim/roofline.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace jigsaw::gpusim {
+
+double peak_gflops(const ArchSpec& arch, ComputePipe pipe) {
+  double macs_per_cycle = 0;
+  switch (pipe) {
+    case ComputePipe::kTensorCoreFp16:
+      macs_per_cycle = arch.tc_fp16_mac_per_cycle;
+      break;
+    case ComputePipe::kSparseTensorCore:
+      macs_per_cycle = arch.tc_fp16_mac_per_cycle * arch.sptc_speedup;
+      break;
+    case ComputePipe::kCudaFp16:
+      macs_per_cycle = arch.cuda_fp16_mac_per_cycle;
+      break;
+  }
+  // 2 FLOP per MAC, GHz clock: GFLOP/s.
+  return 2.0 * macs_per_cycle * arch.num_sms * arch.clock_ghz;
+}
+
+double ridge_intensity(const ArchSpec& arch, ComputePipe pipe) {
+  return peak_gflops(arch, pipe) / (arch.dram_bytes_per_sec / 1e9);
+}
+
+RooflinePoint roofline_point(const KernelReport& report, const ArchSpec& arch,
+                             ComputePipe pipe, double useful_macs) {
+  RooflinePoint p;
+  if (useful_macs <= 0) {
+    // Logical sparse MACs count half as useful work (the zeros), dense and
+    // CUDA MACs fully; int8 partials approximate the useful 16-bit MACs /
+    // the decomposition factor (collapsed to /4 for L16-R16).
+    useful_macs = report.counters.tc_fp16_macs +
+                  report.counters.sptc_macs / 2.0 +
+                  report.counters.cuda_macs +
+                  report.counters.tc_int8_macs / 4.0;
+  }
+  p.flops = 2.0 * useful_macs;
+  p.dram_bytes = report.counters.dram_read_bytes +
+                 report.counters.dram_write_bytes;
+  JIGSAW_CHECK_MSG(p.dram_bytes > 0, "report has no DRAM traffic");
+  p.intensity = p.flops / p.dram_bytes;
+
+  const double bw_gbs = arch.dram_bytes_per_sec / 1e9;
+  const double ceiling = peak_gflops(arch, pipe);
+  p.attainable_gflops = std::min(ceiling, p.intensity * bw_gbs);
+  p.memory_bound = p.intensity < ridge_intensity(arch, pipe);
+  const double seconds = report.duration_us * 1e-6;
+  p.achieved_gflops = seconds > 0 ? p.flops / seconds / 1e9 : 0;
+  p.efficiency =
+      p.attainable_gflops > 0 ? p.achieved_gflops / p.attainable_gflops : 0;
+  return p;
+}
+
+std::string RooflinePoint::summary() const {
+  std::ostringstream os;
+  os << (memory_bound ? "memory-bound" : "compute-bound") << ", "
+     << intensity << " FLOP/B, " << achieved_gflops << " of "
+     << attainable_gflops << " attainable GFLOP/s ("
+     << efficiency * 100.0 << "%)";
+  return os.str();
+}
+
+}  // namespace jigsaw::gpusim

@@ -1,0 +1,44 @@
+// Roofline analysis over kernel reports.
+//
+// Places a simulated kernel on the classic roofline: arithmetic intensity
+// (useful FLOP per DRAM byte) against the device's memory and compute
+// ceilings, reporting the attainable bound and the fraction of it the
+// kernel achieved. Useful for explaining *why* a kernel lands where it
+// does — e.g. Jigsaw at high sparsity slides left into the memory-bound
+// region, which is exactly why its speedup saturates below the 2x SpTC
+// peak (§4.2's diminishing returns).
+#pragma once
+
+#include <string>
+
+#include "gpusim/cost_model.hpp"
+
+namespace jigsaw::gpusim {
+
+struct RooflinePoint {
+  /// Useful floating-point operations (2 x MACs actually contributing).
+  double flops = 0;
+  double dram_bytes = 0;
+  double intensity = 0;        ///< flops / dram_bytes
+  double attainable_gflops = 0;  ///< roofline ceiling at this intensity
+  double achieved_gflops = 0;    ///< flops / simulated duration
+  double efficiency = 0;         ///< achieved / attainable
+  bool memory_bound = false;     ///< left of the ridge point
+
+  std::string summary() const;
+};
+
+/// The ridge intensity of a device: compute peak / memory bandwidth.
+/// Kernels below it are memory-bound. `peak` selects the relevant pipe.
+enum class ComputePipe { kTensorCoreFp16, kSparseTensorCore, kCudaFp16 };
+double peak_gflops(const ArchSpec& arch, ComputePipe pipe);
+double ridge_intensity(const ArchSpec& arch, ComputePipe pipe);
+
+/// Builds the roofline point of a report. `useful_macs` lets callers count
+/// only the MACs that contribute to C (excluding padding lanes); pass 0 to
+/// derive it from the report's counters (all pipes, logical sparse MACs
+/// halved to useful work).
+RooflinePoint roofline_point(const KernelReport& report, const ArchSpec& arch,
+                             ComputePipe pipe, double useful_macs = 0);
+
+}  // namespace jigsaw::gpusim

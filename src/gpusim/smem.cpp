@@ -1,0 +1,50 @@
+#include "gpusim/smem.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace jigsaw::gpusim {
+
+SmemAccessResult simulate_warp_access(
+    std::span<const std::uint32_t> byte_addresses, int width_bytes,
+    const ArchSpec& arch) {
+  SmemAccessResult result;
+  // Wide accesses (64-bit / 128-bit) execute as wavefronts of half / quarter
+  // warps: each wavefront still moves at most 128 bytes, with every lane of
+  // the group contributing width_bytes/4 word accesses.
+  const int words_per_lane = std::max(1, width_bytes / arch.smem_bank_bytes);
+  const std::size_t lanes_per_wavefront =
+      static_cast<std::size_t>(32 / words_per_lane);
+
+  for (std::size_t chunk = 0; chunk < byte_addresses.size();
+       chunk += lanes_per_wavefront) {
+    const std::size_t end =
+        std::min(chunk + lanes_per_wavefront, byte_addresses.size());
+    // distinct_words[bank] lists distinct 4-byte word indices in that bank.
+    std::array<std::vector<std::uint32_t>, 32> distinct_words;
+    for (std::size_t lane = chunk; lane < end; ++lane) {
+      for (int w = 0; w < words_per_lane; ++w) {
+        const std::uint32_t addr =
+            byte_addresses[lane] +
+            static_cast<std::uint32_t>(w * arch.smem_bank_bytes);
+        const std::uint32_t word = addr / arch.smem_bank_bytes;
+        const std::uint32_t bank =
+            word % static_cast<std::uint32_t>(arch.smem_banks);
+        auto& words = distinct_words[bank];
+        if (std::find(words.begin(), words.end(), word) == words.end()) {
+          words.push_back(word);  // same word from multiple lanes broadcasts
+        }
+      }
+    }
+    int max_per_bank = 0;
+    for (const auto& words : distinct_words) {
+      max_per_bank = std::max(max_per_bank, static_cast<int>(words.size()));
+    }
+    if (max_per_bank == 0) max_per_bank = 1;  // fully predicated-off access
+    result.transactions += max_per_bank;
+    result.conflicts += max_per_bank - 1;
+  }
+  return result;
+}
+
+}  // namespace jigsaw::gpusim

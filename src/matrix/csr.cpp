@@ -1,0 +1,34 @@
+#include "matrix/csr.hpp"
+
+namespace jigsaw {
+
+CsrMatrix CsrMatrix::from_dense(const DenseMatrix<fp16_t>& dense) {
+  CsrMatrix csr;
+  csr.rows_ = dense.rows();
+  csr.cols_ = dense.cols();
+  csr.row_offsets_.reserve(csr.rows_ + 1);
+  csr.row_offsets_.push_back(0);
+  for (std::size_t r = 0; r < csr.rows_; ++r) {
+    for (std::size_t c = 0; c < csr.cols_; ++c) {
+      const fp16_t v = dense(r, c);
+      if (!v.is_zero()) {
+        csr.col_indices_.push_back(static_cast<std::uint32_t>(c));
+        csr.values_.push_back(v);
+      }
+    }
+    csr.row_offsets_.push_back(static_cast<std::uint32_t>(csr.values_.size()));
+  }
+  return csr;
+}
+
+DenseMatrix<fp16_t> CsrMatrix::to_dense() const {
+  DenseMatrix<fp16_t> dense(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::uint32_t i = row_offsets_[r]; i < row_offsets_[r + 1]; ++i) {
+      dense(r, col_indices_[i]) = values_[i];
+    }
+  }
+  return dense;
+}
+
+}  // namespace jigsaw

@@ -1,0 +1,21 @@
+#include "matrix/dense.hpp"
+
+namespace jigsaw {
+
+DenseMatrix<float> to_float(const DenseMatrix<fp16_t>& m) {
+  DenseMatrix<float> out(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    out.data()[i] = static_cast<float>(m.data()[i]);
+  }
+  return out;
+}
+
+DenseMatrix<fp16_t> to_fp16(const DenseMatrix<float>& m) {
+  DenseMatrix<fp16_t> out(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    out.data()[i] = fp16_t(m.data()[i]);
+  }
+  return out;
+}
+
+}  // namespace jigsaw

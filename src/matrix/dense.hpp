@@ -1,0 +1,76 @@
+// Owning row-major dense matrix, the common currency between the sparse
+// formats, kernels, and reference implementations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/fp16.hpp"
+#include "common/span2d.hpp"
+
+namespace jigsaw {
+
+/// Row-major dense matrix with tight leading dimension (ld == cols).
+template <typename T>
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+
+  T& operator()(std::size_t r, std::size_t c) {
+    JIGSAW_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    JIGSAW_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  Span2d<T> view() { return Span2d<T>(data_.data(), rows_, cols_, cols_); }
+  ConstSpan2d<T> view() const {
+    return ConstSpan2d<T>(data_.data(), rows_, cols_, cols_);
+  }
+
+  friend bool operator==(const DenseMatrix& a, const DenseMatrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+/// Counts structurally non-zero entries (fp16: both +0 and -0 count as zero).
+inline std::size_t count_nonzeros(const DenseMatrix<fp16_t>& m) {
+  std::size_t nnz = 0;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (!m.data()[i].is_zero()) ++nnz;
+  }
+  return nnz;
+}
+
+/// Element-level sparsity in [0,1]: fraction of zero entries.
+inline double sparsity_of(const DenseMatrix<fp16_t>& m) {
+  if (m.size() == 0) return 0.0;
+  return 1.0 - static_cast<double>(count_nonzeros(m)) /
+                   static_cast<double>(m.size());
+}
+
+/// Converts an fp16 matrix to float (exact).
+DenseMatrix<float> to_float(const DenseMatrix<fp16_t>& m);
+
+/// Quantizes a float matrix to fp16 (round-to-nearest-even).
+DenseMatrix<fp16_t> to_fp16(const DenseMatrix<float>& m);
+
+}  // namespace jigsaw

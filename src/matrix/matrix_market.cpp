@@ -1,0 +1,135 @@
+#include "matrix/matrix_market.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace jigsaw {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+struct Banner {
+  enum class Field { kReal, kInteger, kPattern } field = Field::kReal;
+  enum class Symmetry { kGeneral, kSymmetric } symmetry = Symmetry::kGeneral;
+};
+
+Banner parse_banner(const std::string& line) {
+  std::istringstream ss(line);
+  std::string tag, object, format, field, symmetry;
+  ss >> tag >> object >> format >> field >> symmetry;
+  JIGSAW_CHECK_MSG(tag == "%%MatrixMarket",
+                   "not a Matrix Market stream (banner: " << line << ")");
+  JIGSAW_CHECK_MSG(lower(object) == "matrix", "unsupported object " << object);
+  JIGSAW_CHECK_MSG(lower(format) == "coordinate",
+                   "only the coordinate format is supported, got " << format);
+  Banner b;
+  const std::string f = lower(field);
+  if (f == "real") {
+    b.field = Banner::Field::kReal;
+  } else if (f == "integer") {
+    b.field = Banner::Field::kInteger;
+  } else if (f == "pattern") {
+    b.field = Banner::Field::kPattern;
+  } else {
+    JIGSAW_CHECK_MSG(false, "unsupported field " << field);
+  }
+  const std::string sym = lower(symmetry);
+  if (sym == "general") {
+    b.symmetry = Banner::Symmetry::kGeneral;
+  } else if (sym == "symmetric") {
+    b.symmetry = Banner::Symmetry::kSymmetric;
+  } else {
+    JIGSAW_CHECK_MSG(false, "unsupported symmetry " << symmetry);
+  }
+  return b;
+}
+
+std::string next_content_line(std::istream& is) {
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;  // blank
+    if (line[first] == '%') continue;          // comment
+    return line;
+  }
+  return {};
+}
+
+}  // namespace
+
+DenseMatrix<fp16_t> read_matrix_market(std::istream& is) {
+  std::string banner_line;
+  JIGSAW_CHECK_MSG(std::getline(is, banner_line), "empty stream");
+  const Banner banner = parse_banner(banner_line);
+
+  const std::string size_line = next_content_line(is);
+  JIGSAW_CHECK_MSG(!size_line.empty(), "missing size line");
+  std::istringstream size_ss(size_line);
+  long long rows = 0, cols = 0, entries = 0;
+  size_ss >> rows >> cols >> entries;
+  JIGSAW_CHECK_MSG(size_ss && rows > 0 && cols > 0 && entries >= 0,
+                   "bad size line: " << size_line);
+
+  DenseMatrix<fp16_t> m(static_cast<std::size_t>(rows),
+                        static_cast<std::size_t>(cols));
+  for (long long i = 0; i < entries; ++i) {
+    const std::string line = next_content_line(is);
+    JIGSAW_CHECK_MSG(!line.empty(), "stream ends after " << i << " of "
+                                                         << entries
+                                                         << " entries");
+    std::istringstream ss(line);
+    long long r = 0, c = 0;
+    double value = 1.0;  // pattern default
+    ss >> r >> c;
+    if (banner.field != Banner::Field::kPattern) ss >> value;
+    JIGSAW_CHECK_MSG(ss, "bad entry line: " << line);
+    JIGSAW_CHECK_MSG(r >= 1 && r <= rows && c >= 1 && c <= cols,
+                     "entry out of range: " << line);
+    const auto ri = static_cast<std::size_t>(r - 1);
+    const auto ci = static_cast<std::size_t>(c - 1);
+    m(ri, ci) = fp16_t(static_cast<float>(value));
+    if (banner.symmetry == Banner::Symmetry::kSymmetric && r != c) {
+      m(ci, ri) = fp16_t(static_cast<float>(value));
+    }
+  }
+  return m;
+}
+
+DenseMatrix<fp16_t> read_matrix_market_file(const std::string& path) {
+  std::ifstream is(path);
+  JIGSAW_CHECK_MSG(is.is_open(), "cannot open " << path);
+  return read_matrix_market(is);
+}
+
+void write_matrix_market(const DenseMatrix<fp16_t>& m, std::ostream& os) {
+  os << "%%MatrixMarket matrix coordinate real general\n";
+  os << "% written by jigsaw\n";
+  os << m.rows() << ' ' << m.cols() << ' ' << count_nonzeros(m) << '\n';
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      if (m(r, c).is_zero()) continue;
+      os << r + 1 << ' ' << c + 1 << ' ' << static_cast<float>(m(r, c))
+         << '\n';
+    }
+  }
+  JIGSAW_CHECK_MSG(os.good(), "failed to write matrix market stream");
+}
+
+void write_matrix_market_file(const DenseMatrix<fp16_t>& m,
+                              const std::string& path) {
+  std::ofstream os(path);
+  JIGSAW_CHECK_MSG(os.is_open(), "cannot open " << path << " for writing");
+  write_matrix_market(m, os);
+}
+
+}  // namespace jigsaw

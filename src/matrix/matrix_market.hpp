@@ -1,0 +1,32 @@
+// Matrix Market (.mtx) I/O.
+//
+// Lets users run Jigsaw on real pruned-model matrices (DLMC publishes its
+// dataset in a text format trivially convertible to Matrix Market).
+// Supports the coordinate format with real/integer/pattern fields and the
+// general/symmetric symmetry modes, which covers the files SuiteSparse and
+// DLMC-style exports produce. Writing always emits coordinate/real/general.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "matrix/dense.hpp"
+
+namespace jigsaw {
+
+/// Parses a Matrix Market stream into a dense fp16 matrix (values are
+/// quantized with round-to-nearest-even). Throws jigsaw::Error on
+/// malformed input: bad banner, out-of-range indices, wrong entry counts.
+DenseMatrix<fp16_t> read_matrix_market(std::istream& is);
+
+/// Reads a .mtx file.
+DenseMatrix<fp16_t> read_matrix_market_file(const std::string& path);
+
+/// Writes the nonzeros of a matrix in coordinate/real/general form.
+void write_matrix_market(const DenseMatrix<fp16_t>& m, std::ostream& os);
+
+/// Writes a .mtx file.
+void write_matrix_market_file(const DenseMatrix<fp16_t>& m,
+                              const std::string& path);
+
+}  // namespace jigsaw

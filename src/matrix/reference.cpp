@@ -1,0 +1,77 @@
+#include "matrix/reference.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+
+namespace jigsaw {
+
+DenseMatrix<float> reference_gemm(const DenseMatrix<fp16_t>& a,
+                                  const DenseMatrix<fp16_t>& b) {
+  JIGSAW_CHECK_MSG(a.cols() == b.rows(), "GEMM shape mismatch: A is "
+                                             << a.rows() << "x" << a.cols()
+                                             << ", B is " << b.rows() << "x"
+                                             << b.cols());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  DenseMatrix<float> c(m, n);
+  parallel_for(static_cast<std::int64_t>(m), [&](std::int64_t r) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(static_cast<float>(a(r, p))) *
+               static_cast<double>(static_cast<float>(b(p, j)));
+      }
+      c(static_cast<std::size_t>(r), j) = static_cast<float>(acc);
+    }
+  });
+  return c;
+}
+
+DenseMatrix<float> reference_spmm(const CsrMatrix& a,
+                                  const DenseMatrix<fp16_t>& b) {
+  JIGSAW_CHECK(a.cols() == b.rows());
+  const std::size_t m = a.rows(), n = b.cols();
+  DenseMatrix<float> c(m, n);
+  parallel_for(static_cast<std::int64_t>(m), [&](std::int64_t r) {
+    const auto& offs = a.row_offsets();
+    const auto& cols = a.col_indices();
+    const auto& vals = a.values();
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::uint32_t i = offs[r]; i < offs[r + 1]; ++i) {
+        acc += static_cast<double>(static_cast<float>(vals[i])) *
+               static_cast<double>(static_cast<float>(b(cols[i], j)));
+      }
+      c(static_cast<std::size_t>(r), j) = static_cast<float>(acc);
+    }
+  });
+  return c;
+}
+
+double max_abs_diff(const DenseMatrix<float>& a, const DenseMatrix<float>& b) {
+  JIGSAW_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst,
+                     std::fabs(static_cast<double>(a.data()[i]) -
+                               static_cast<double>(b.data()[i])));
+  }
+  return worst;
+}
+
+double gemm_tolerance(std::size_t k, double max_abs_value) {
+  // fp16 has ~2^-11 relative error per element; fp32 accumulation adds
+  // K * 2^-24 worth of rounding relative to the double reference. The bound
+  // below is loose enough for any accumulation order and tight enough to
+  // catch indexing bugs (which produce O(1) errors).
+  const double per_term = max_abs_value * max_abs_value;
+  return per_term * (static_cast<double>(k) * 0x1.0p-22 + 0x1.0p-10);
+}
+
+bool allclose(const DenseMatrix<float>& a, const DenseMatrix<float>& b,
+              std::size_t k, double max_abs_value) {
+  return max_abs_diff(a, b) <= gemm_tolerance(k, max_abs_value);
+}
+
+}  // namespace jigsaw

@@ -1,0 +1,35 @@
+// Reference GEMM/SpMM and comparison utilities used by every test.
+//
+// The reference computes in double precision over fp16-quantized inputs, so
+// any kernel that multiplies in fp16/fp32 must agree with it to within an
+// accumulation-order tolerance proportional to K.
+#pragma once
+
+#include <cstddef>
+
+#include "matrix/csr.hpp"
+#include "matrix/dense.hpp"
+
+namespace jigsaw {
+
+/// C = A x B in double precision; A is M x K fp16, B is K x N fp16.
+DenseMatrix<float> reference_gemm(const DenseMatrix<fp16_t>& a,
+                                  const DenseMatrix<fp16_t>& b);
+
+/// C = A x B with CSR A.
+DenseMatrix<float> reference_spmm(const CsrMatrix& a,
+                                  const DenseMatrix<fp16_t>& b);
+
+/// Largest absolute elementwise difference; throws on shape mismatch.
+double max_abs_diff(const DenseMatrix<float>& a, const DenseMatrix<float>& b);
+
+/// Tolerance for comparing an fp32-accumulated kernel result against the
+/// double-precision reference: a small multiple of fp16 epsilon scaled by
+/// the dot-product length and the magnitude of the inputs.
+double gemm_tolerance(std::size_t k, double max_abs_value = 1.0);
+
+/// True when every element differs by at most gemm_tolerance(k, scale).
+bool allclose(const DenseMatrix<float>& a, const DenseMatrix<float>& b,
+              std::size_t k, double max_abs_value = 1.0);
+
+}  // namespace jigsaw

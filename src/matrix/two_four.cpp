@@ -1,0 +1,23 @@
+#include "matrix/two_four.hpp"
+
+namespace jigsaw {
+
+TwoFourStats analyze_two_four(const DenseMatrix<fp16_t>& m) {
+  TwoFourStats stats;
+  const std::size_t groups = (m.cols() + 3) / 4;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t g = 0; g < groups; ++g) {
+      int nnz = 0;
+      const std::size_t c0 = g * 4;
+      const std::size_t c1 = std::min(c0 + 4, m.cols());
+      for (std::size_t c = c0; c < c1; ++c) {
+        nnz += !m(r, c).is_zero();
+      }
+      ++stats.groups_total;
+      stats.groups_violating += !group_ok(nnz);
+    }
+  }
+  return stats;
+}
+
+}  // namespace jigsaw

@@ -1,0 +1,43 @@
+// 2:4 structured-sparsity pattern checks.
+//
+// The Ampere sparse tensor core requires at most two nonzeros in every
+// aligned group of four consecutive row elements of the LHS matrix. These
+// helpers test that property at element, row, tile, and whole-matrix
+// granularity; Figure 1 of the paper is the whole-matrix check applied to
+// a DLMC-like suite.
+#pragma once
+
+#include <cstddef>
+
+#include "matrix/dense.hpp"
+
+namespace jigsaw {
+
+/// Statistics of 2:4 compliance for a matrix.
+struct TwoFourStats {
+  std::size_t groups_total = 0;      ///< number of aligned 4-wide row groups
+  std::size_t groups_violating = 0;  ///< groups with > 2 nonzeros
+  bool compliant() const { return groups_violating == 0; }
+  /// Fraction of groups that already satisfy 2:4.
+  double compliance_ratio() const {
+    return groups_total == 0
+               ? 1.0
+               : 1.0 - static_cast<double>(groups_violating) /
+                           static_cast<double>(groups_total);
+  }
+};
+
+/// Scans the whole matrix. Columns beyond the last full group of four are
+/// treated as a (zero-padded) final group, matching how the hardware would
+/// consume a padded operand.
+TwoFourStats analyze_two_four(const DenseMatrix<fp16_t>& m);
+
+/// True when every aligned 4-group of every row has <= 2 nonzeros.
+inline bool satisfies_two_four(const DenseMatrix<fp16_t>& m) {
+  return analyze_two_four(m).compliant();
+}
+
+/// Checks one 4-wide group given the nonzero flags of its lanes.
+constexpr bool group_ok(int nnz_in_group) { return nnz_in_group <= 2; }
+
+}  // namespace jigsaw

@@ -1,0 +1,194 @@
+#include "matrix/vector_sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace jigsaw {
+
+const char* to_string(PruningMethod m) {
+  switch (m) {
+    case PruningMethod::kRandom: return "random";
+    case PruningMethod::kMagnitude: return "magnitude";
+    case PruningMethod::kVariational: return "variational";
+  }
+  return "?";
+}
+
+std::size_t VectorSparseMatrix::nnz_vectors() const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < mask_.size(); ++i) n += mask_.data()[i] != 0;
+  return n;
+}
+
+double VectorSparseMatrix::sparsity() const {
+  if (values_.size() == 0) return 0.0;
+  return 1.0 -
+         static_cast<double>(nnz()) / static_cast<double>(values_.size());
+}
+
+VectorSparseMatrix VectorSparseMatrix::from_parts(
+    std::size_t v, DenseMatrix<std::uint8_t> mask,
+    DenseMatrix<fp16_t> values) {
+  JIGSAW_CHECK(v >= 1);
+  JIGSAW_CHECK_MSG(values.rows() == mask.rows() * v &&
+                       values.cols() == mask.cols(),
+                   "mask/values shape mismatch");
+  for (std::size_t vr = 0; vr < mask.rows(); ++vr) {
+    for (std::size_t c = 0; c < mask.cols(); ++c) {
+      if (mask(vr, c)) continue;
+      for (std::size_t dr = 0; dr < v; ++dr) {
+        JIGSAW_CHECK_MSG(values(vr * v + dr, c).is_zero(),
+                         "nonzero value outside the vector mask at ("
+                             << vr * v + dr << ", " << c << ")");
+      }
+    }
+  }
+  VectorSparseMatrix m;
+  m.v_ = v;
+  m.mask_ = std::move(mask);
+  m.values_ = std::move(values);
+  return m;
+}
+
+VectorSparseMatrix VectorSparseMatrix::assemble(
+    std::size_t v, const DenseMatrix<std::uint8_t>& mask, std::uint64_t seed,
+    float lo, float hi) {
+  JIGSAW_CHECK(v >= 1 && mask.rows() > 0 && mask.cols() > 0);
+  VectorSparseMatrix m;
+  m.v_ = v;
+  m.mask_ = mask;
+  m.values_ = DenseMatrix<fp16_t>(mask.rows() * v, mask.cols());
+  Rng rng(seed);
+  for (std::size_t vr = 0; vr < mask.rows(); ++vr) {
+    for (std::size_t c = 0; c < mask.cols(); ++c) {
+      if (!mask(vr, c)) continue;
+      for (std::size_t dr = 0; dr < v; ++dr) {
+        float x = rng.uniform(lo, hi);
+        if (std::fabs(x) < 1.0f / 64.0f) {
+          x = (x < 0.0f ? -1.0f : 1.0f) / 64.0f;
+        }
+        m.values_(vr * v + dr, c) = fp16_t(x);
+      }
+    }
+  }
+  return m;
+}
+
+VectorSparseMatrix VectorSparseGenerator::generate(
+    const VectorSparseOptions& opts) {
+  JIGSAW_CHECK_MSG(opts.vector_width >= 1, "vector_width must be >= 1");
+  JIGSAW_CHECK_MSG(opts.rows % opts.vector_width == 0,
+                   "rows (" << opts.rows << ") must be a multiple of v ("
+                            << opts.vector_width << ")");
+  JIGSAW_CHECK(opts.sparsity >= 0.0 && opts.sparsity <= 1.0);
+
+  const std::size_t vrows = opts.rows / opts.vector_width;
+  const std::size_t nvec = vrows * opts.cols;
+
+  VectorSparseMatrix m;
+  m.v_ = opts.vector_width;
+  m.values_ = DenseMatrix<fp16_t>(opts.rows, opts.cols);
+  m.mask_ = DenseMatrix<std::uint8_t>(vrows, opts.cols, 0);
+
+  Rng rng(opts.seed);
+  const double density = 1.0 - opts.sparsity;
+
+  switch (opts.method) {
+    case PruningMethod::kRandom: {
+      if (opts.exact_nnz) {
+        // DLMC-style random pruning keeps an exact fraction of weights;
+        // choose exactly round(density * nvec) vectors uniformly.
+        const auto keep = static_cast<std::uint32_t>(
+            std::llround(density * static_cast<double>(nvec)));
+        const auto picks = rng.sample_without_replacement(
+            static_cast<std::uint32_t>(nvec), keep);
+        for (const std::uint32_t p : picks) m.mask_.data()[p] = 1;
+      } else {
+        for (std::size_t i = 0; i < nvec; ++i) {
+          m.mask_.data()[i] = rng.bernoulli(density) ? 1 : 0;
+        }
+      }
+      break;
+    }
+    case PruningMethod::kMagnitude: {
+      // Synthetic weight magnitudes: per-column log-normal scale times a
+      // per-vector log-normal factor; drop the globally smallest so that
+      // exactly the target fraction survives. Column scales make whole
+      // columns die (or stay dense) together, like trained weights.
+      std::vector<double> score(nvec);
+      std::vector<double> col_scale(opts.cols);
+      for (auto& sc : col_scale) {
+        sc = std::exp(0.8 * static_cast<double>(rng.normal()));
+      }
+      for (std::size_t vr = 0; vr < vrows; ++vr) {
+        for (std::size_t c = 0; c < opts.cols; ++c) {
+          score[vr * opts.cols + c] =
+              col_scale[c] *
+              std::exp(0.5 * static_cast<double>(rng.normal()));
+        }
+      }
+      const auto keep = static_cast<std::size_t>(
+          std::llround(density * static_cast<double>(nvec)));
+      std::vector<std::size_t> order(nvec);
+      for (std::size_t i = 0; i < nvec; ++i) order[i] = i;
+      std::nth_element(order.begin(),
+                       order.begin() + static_cast<std::ptrdiff_t>(
+                                           nvec - std::min(keep, nvec)),
+                       order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return score[a] < score[b];
+                       });
+      for (std::size_t i = nvec - std::min(keep, nvec); i < nvec; ++i) {
+        m.mask_.data()[order[i]] = 1;
+      }
+      break;
+    }
+    case PruningMethod::kVariational: {
+      // Per-column keep probabilities from a logit-normal draw (wide,
+      // U-shaped spread like variational dropout's keep rates), rescaled
+      // so that the mean matches the target density (the raw sigmoid of a
+      // logit-normal is biased toward 0.5).
+      std::vector<double> keep_p(opts.cols);
+      double mean = 0.0;
+      const double logit =
+          std::log(density / std::max(1e-9, 1.0 - density));
+      for (std::size_t c = 0; c < opts.cols; ++c) {
+        keep_p[c] =
+            1.0 / (1.0 + std::exp(-(logit +
+                                    2.0 * static_cast<double>(rng.normal()))));
+        mean += keep_p[c];
+      }
+      mean /= std::max<std::size_t>(1, opts.cols);
+      const double rescale = mean > 0 ? density / mean : 0.0;
+      for (std::size_t c = 0; c < opts.cols; ++c) {
+        const double p = std::min(1.0, keep_p[c] * rescale);
+        for (std::size_t vr = 0; vr < vrows; ++vr) {
+          m.mask_(vr, c) = rng.bernoulli(p) ? 1 : 0;
+        }
+      }
+      break;
+    }
+  }
+
+  // Populate kept vectors with nonzero fp16 values. Values are drawn away
+  // from zero so quantization can never create an accidental structural
+  // zero inside a kept vector.
+  for (std::size_t vr = 0; vr < vrows; ++vr) {
+    for (std::size_t c = 0; c < opts.cols; ++c) {
+      if (!m.mask_(vr, c)) continue;
+      for (std::size_t dr = 0; dr < opts.vector_width; ++dr) {
+        float x = rng.uniform(opts.value_lo, opts.value_hi);
+        if (std::fabs(x) < 1.0f / 64.0f) {
+          x = (x < 0.0f ? -1.0f : 1.0f) / 64.0f;
+        }
+        m.values_(vr * opts.vector_width + dr, c) = fp16_t(x);
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace jigsaw

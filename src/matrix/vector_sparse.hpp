@@ -1,0 +1,116 @@
+// Vector-sparse (1-D block / column-vector) matrices.
+//
+// Vector pruning zeroes weights at the granularity of v x 1 column vectors:
+// the matrix is partitioned into blocks of v consecutive rows within one
+// column, and each block is either entirely zero or fully populated. This is
+// the sparsity structure the paper evaluates ("replacing each nonzero
+// element [of a DLMC matrix] with a 1-D vector with different width",
+// v in {2, 4, 8}).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "matrix/dense.hpp"
+
+namespace jigsaw {
+
+/// A vector-sparse matrix: dense storage plus the vector-granularity mask.
+/// Invariant: values(r, c) is nonzero only if mask(r / v, c) is set, and
+/// every masked vector is fully populated with nonzero values.
+class VectorSparseMatrix {
+ public:
+  VectorSparseMatrix() = default;
+
+  std::size_t rows() const { return values_.rows(); }
+  std::size_t cols() const { return values_.cols(); }
+  std::size_t vector_width() const { return v_; }
+  std::size_t vector_rows() const { return mask_.rows(); }
+
+  const DenseMatrix<fp16_t>& values() const { return values_; }
+  const DenseMatrix<std::uint8_t>& mask() const { return mask_; }
+
+  /// True when the v x 1 vector covering row r, column c is nonzero.
+  bool vector_set(std::size_t r, std::size_t c) const {
+    return mask_(r / v_, c) != 0;
+  }
+
+  /// Number of set v x 1 vector blocks in the mask.
+  std::size_t nnz_vectors() const;
+
+  /// Number of nonzero scalar elements. Equals nnz_vectors() * v for
+  /// plain vector pruning; pruners with a second element-level stage
+  /// (e.g. VENOM's N:M inside kept columns) produce fewer.
+  std::size_t nnz() const { return count_nonzeros(values_); }
+
+  /// Element-level sparsity (fraction of zero elements).
+  double sparsity() const;
+
+  /// Assembles a vector-sparse matrix from an explicit mask, filling kept
+  /// vectors with uniform random nonzero values (used by pruners such as
+  /// VENOM that choose the mask themselves). mask must be (rows/v) x cols.
+  static VectorSparseMatrix assemble(std::size_t v,
+                                     const DenseMatrix<std::uint8_t>& mask,
+                                     std::uint64_t seed, float lo = -1.0f,
+                                     float hi = 1.0f);
+
+  /// Wraps explicit (mask, values) parts. Unlike assemble, masked vector
+  /// blocks may be partially populated (second-level element pruning);
+  /// unmasked blocks must be entirely zero.
+  static VectorSparseMatrix from_parts(std::size_t v,
+                                       DenseMatrix<std::uint8_t> mask,
+                                       DenseMatrix<fp16_t> values);
+
+  friend class VectorSparseGenerator;
+
+ private:
+  std::size_t v_ = 1;
+  DenseMatrix<fp16_t> values_;        // rows x cols dense storage
+  DenseMatrix<std::uint8_t> mask_;    // (rows / v) x cols vector mask
+};
+
+/// Pruning method of the synthetic generator, mirroring the sub-datasets
+/// of DLMC. They share the target sparsity but differ in *where* the
+/// surviving vectors sit — which changes zero-column statistics and hence
+/// the reorder success rates of Figure 11.
+enum class PruningMethod : std::uint8_t {
+  /// Uniform choice of kept vectors (DLMC "random pruning"); exact count.
+  kRandom,
+  /// Magnitude pruning of a synthetic weight tensor: vector norms are
+  /// drawn log-normal per column (columns have persistent scales, as
+  /// trained weights do), and the globally smallest vectors are dropped.
+  /// Produces column-correlated survivors: some columns stay dense, many
+  /// go entirely zero — heavier tails than random pruning.
+  kMagnitude,
+  /// Variational-dropout-like pruning: each column draws a keep
+  /// probability from a Beta-like distribution, then vectors survive
+  /// independently — between the other two in column correlation.
+  kVariational,
+};
+
+const char* to_string(PruningMethod m);
+
+/// Options for synthetic vector-sparse matrix generation.
+struct VectorSparseOptions {
+  std::size_t rows = 0;       ///< M; must be a multiple of vector_width.
+  std::size_t cols = 0;       ///< K.
+  std::size_t vector_width = 1;  ///< v in {1, 2, 4, 8, ...}.
+  double sparsity = 0.0;      ///< target element-level sparsity in [0, 1].
+  std::uint64_t seed = 1;     ///< PRNG seed; generation is deterministic.
+  PruningMethod method = PruningMethod::kRandom;
+  /// kRandom only: when true, the exact global number of nonzero vectors
+  /// is hit by sampling without replacement; when false, independent
+  /// Bernoulli draws.
+  bool exact_nnz = true;
+  float value_lo = -1.0f;     ///< uniform value range for nonzeros
+  float value_hi = 1.0f;
+};
+
+/// Generates synthetic vector-sparse matrices mimicking DLMC random pruning.
+class VectorSparseGenerator {
+ public:
+  static VectorSparseMatrix generate(const VectorSparseOptions& opts);
+};
+
+}  // namespace jigsaw

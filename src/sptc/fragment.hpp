@@ -1,0 +1,92 @@
+// Thread-level fragment ownership for mma.sp.m16n8k32 (fp16).
+//
+// A warp-cooperative MMA distributes its operands across the 32 lanes in a
+// fixed pattern (PTX ISA, "Matrix Fragments for sparse mma.m16n8k32").
+// This module encodes that mapping: which (row, col) of each operand tile
+// lane `l` holds in register element `e`. The kernel's ldmatrix address
+// generation, the metadata interleave (§3.4.3) and the bank-conflict
+// analysis all assume this ownership; the tests pin it down as a bijection
+// so layout regressions cannot slip through silently.
+//
+// Conventions: lanes are grouped in quads (groupID = lane / 4,
+// threadID-in-group = lane % 4). The A operand is the *compressed* 16x16
+// half tile; B is the full 32x8 tile; C/D are 16x8 fp32 accumulators.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace jigsaw::sptc {
+
+struct FragmentCoord {
+  int row = 0;
+  int col = 0;
+  friend constexpr bool operator==(const FragmentCoord&,
+                                   const FragmentCoord&) = default;
+};
+
+inline constexpr int kAFragmentElems = 8;  ///< halfs per lane (4 regs)
+inline constexpr int kBFragmentElems = 8;  ///< halfs per lane (4 regs)
+inline constexpr int kCFragmentElems = 4;  ///< fp32 per lane (4 regs)
+
+/// (row, col) within the compressed 16x16 A tile held by lane `l`,
+/// element `e`. Elements 0-1: row groupID, columns tid*2 + {0,1};
+/// 2-3: row groupID+8; 4-7 repeat at columns +8.
+constexpr FragmentCoord a_fragment_coord(int lane, int e) {
+  JIGSAW_ASSERT(lane >= 0 && lane < 32 && e >= 0 && e < kAFragmentElems);
+  return FragmentCoord{
+      lane / 4 + 8 * ((e / 2) % 2),
+      (lane % 4) * 2 + (e % 2) + 8 * (e / 4),
+  };
+}
+
+/// (row, col) within the 32x8 B tile held by lane `l`, element `e`.
+/// Columns follow groupID; rows walk tid*2 + {0,1} through the four
+/// 8-row sub-tiles (the four ldmatrix stages).
+constexpr FragmentCoord b_fragment_coord(int lane, int e) {
+  JIGSAW_ASSERT(lane >= 0 && lane < 32 && e >= 0 && e < kBFragmentElems);
+  return FragmentCoord{
+      (lane % 4) * 2 + (e % 2) + 8 * (e / 2),
+      lane / 4,
+  };
+}
+
+/// (row, col) within the 16x8 C/D accumulator tile held by lane `l`,
+/// element `e`.
+constexpr FragmentCoord c_fragment_coord(int lane, int e) {
+  JIGSAW_ASSERT(lane >= 0 && lane < 32 && e >= 0 && e < kCFragmentElems);
+  return FragmentCoord{
+      lane / 4 + 8 * (e / 2),
+      (lane % 4) * 2 + (e % 2),
+  };
+}
+
+/// Inverse maps: the (lane, element) owning a given operand coordinate.
+struct FragmentOwner {
+  int lane = 0;
+  int elem = 0;
+};
+
+constexpr FragmentOwner a_fragment_owner(int row, int col) {
+  JIGSAW_ASSERT(row >= 0 && row < 16 && col >= 0 && col < 16);
+  const int lane = (row % 8) * 4 + (col % 8) / 2;
+  const int e = (col % 2) + 2 * (row / 8) + 4 * (col / 8);
+  return FragmentOwner{lane, e};
+}
+
+constexpr FragmentOwner b_fragment_owner(int row, int col) {
+  JIGSAW_ASSERT(row >= 0 && row < 32 && col >= 0 && col < 8);
+  const int lane = col * 4 + (row % 8) / 2;
+  const int e = (row % 2) + 2 * (row / 8);
+  return FragmentOwner{lane, e};
+}
+
+constexpr FragmentOwner c_fragment_owner(int row, int col) {
+  JIGSAW_ASSERT(row >= 0 && row < 16 && col >= 0 && col < 8);
+  const int lane = (row % 8) * 4 + col / 2;
+  const int e = (col % 2) + 2 * (row / 8);
+  return FragmentOwner{lane, e};
+}
+
+}  // namespace jigsaw::sptc

@@ -1,0 +1,49 @@
+#include "sptc/ldmatrix.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+
+namespace jigsaw::sptc {
+
+namespace {
+
+// One stage reads 8 rows x 16 bytes = 128 bytes; physically the 32 lanes
+// each fetch one 4-byte word (lane 4r+j reads bytes [4j, 4j+4) of row r).
+void run_stage(std::span<const std::uint32_t> rows8,
+               gpusim::SmemTracker& smem) {
+  std::array<std::uint32_t, 32> lane_addr;
+  for (int r = 0; r < 8; ++r) {
+    for (int j = 0; j < 4; ++j) {
+      lane_addr[4 * r + j] = rows8[r] + static_cast<std::uint32_t>(4 * j);
+    }
+  }
+  smem.load(lane_addr, 4);
+}
+
+void run_stages(std::span<const std::uint32_t> row_addresses, int stages,
+                gpusim::SmemTracker& smem) {
+  JIGSAW_CHECK(row_addresses.size() == static_cast<std::size_t>(8 * stages));
+  for (int s = 0; s < stages; ++s) {
+    run_stage(row_addresses.subspan(static_cast<std::size_t>(8) * s, 8), smem);
+  }
+}
+
+}  // namespace
+
+void ldmatrix_x4(std::span<const std::uint32_t> row_addresses,
+                 gpusim::SmemTracker& smem) {
+  run_stages(row_addresses, 4, smem);
+}
+
+void ldmatrix_x2(std::span<const std::uint32_t> row_addresses,
+                 gpusim::SmemTracker& smem) {
+  run_stages(row_addresses, 2, smem);
+}
+
+void ldmatrix_x1(std::span<const std::uint32_t> row_addresses,
+                 gpusim::SmemTracker& smem) {
+  run_stages(row_addresses, 1, smem);
+}
+
+}  // namespace jigsaw::sptc

@@ -1,0 +1,34 @@
+// Address-pattern model of the ldmatrix PTX instruction.
+//
+// ldmatrix.x4 loads four 8x8 fp16 tiles from shared memory: the 32 lanes
+// each supply one row start address (lane i supplies the address of row
+// i%8 of tile i/8) and the instruction executes in four stages, one tile
+// per stage, each stage reading 8 rows x 16 bytes. Bank conflicts arise
+// *within a stage* when two of its eight rows overlap banks — exactly the
+// failure mode §3.4.1 of the paper eliminates with padding and
+// conflict-aware reordering. This model replays the real addresses through
+// the shared-memory simulator to count those conflicts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "gpusim/smem.hpp"
+
+namespace jigsaw::sptc {
+
+/// Simulates one ldmatrix.x4: `row_addresses` holds 32 shared-memory byte
+/// addresses (8 rows for each of the 4 stages, 16 bytes read per row).
+/// Transactions and conflicts are accumulated into `smem`.
+void ldmatrix_x4(std::span<const std::uint32_t> row_addresses,
+                 gpusim::SmemTracker& smem);
+
+/// Simulates one ldmatrix.x2 (two stages, 16 row addresses).
+void ldmatrix_x2(std::span<const std::uint32_t> row_addresses,
+                 gpusim::SmemTracker& smem);
+
+/// Simulates one ldmatrix.x1 (one stage, 8 row addresses).
+void ldmatrix_x1(std::span<const std::uint32_t> row_addresses,
+                 gpusim::SmemTracker& smem);
+
+}  // namespace jigsaw::sptc

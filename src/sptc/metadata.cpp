@@ -1,0 +1,65 @@
+#include "sptc/metadata.hpp"
+
+#include "common/error.hpp"
+
+namespace jigsaw::sptc {
+
+bool compress_tile(ConstSpan2d<fp16_t> logical, CompressedTile& out) {
+  JIGSAW_CHECK(logical.rows() == kTileRows &&
+               logical.cols() == kTileLogicalCols);
+  for (int r = 0; r < kTileRows; ++r) {
+    std::uint32_t meta = 0;
+    for (int g = 0; g < kGroupsPerRow; ++g) {
+      // Gather the in-group indices of the nonzeros.
+      int idx[4];
+      int nnz = 0;
+      for (int j = 0; j < 4; ++j) {
+        if (!logical(r, 4 * g + j).is_zero()) {
+          if (nnz == 2) return false;  // 2:4 violated
+          idx[nnz++] = j;
+        }
+      }
+      // Pad to exactly two kept slots with the lowest unused indices; the
+      // padded slots carry zero values so the MAC result is unaffected.
+      for (int j = 0; nnz < 2 && j < 4; ++j) {
+        bool used = false;
+        for (int t = 0; t < nnz; ++t) used |= (idx[t] == j);
+        if (!used) idx[nnz++] = j;
+      }
+      if (idx[0] > idx[1]) std::swap(idx[0], idx[1]);
+
+      for (int slot = 0; slot < 2; ++slot) {
+        out.values[r * kTileCompressedCols + 2 * g + slot] =
+            logical(r, 4 * g + idx[slot]);
+        meta |= static_cast<std::uint32_t>(idx[slot])
+                << (4 * g + 2 * slot);
+      }
+    }
+    out.metadata[r] = meta;
+  }
+  return true;
+}
+
+void decompress_tile(const CompressedTile& in, Span2d<fp16_t> logical) {
+  JIGSAW_CHECK(logical.rows() == kTileRows &&
+               logical.cols() == kTileLogicalCols);
+  for (int r = 0; r < kTileRows; ++r) {
+    for (int c = 0; c < kTileLogicalCols; ++c) logical(r, c) = fp16_t{};
+    for (int c = 0; c < kTileCompressedCols; ++c) {
+      logical(r, in.logical_col(r, c)) = in.value(r, c);
+    }
+  }
+}
+
+std::array<std::uint32_t, 32> interleave_metadata(
+    const std::array<std::uint32_t, 16>& mma0,
+    const std::array<std::uint32_t, 16>& mma1) {
+  std::array<std::uint32_t, 32> out{};
+  for (int i = 0; i < 32; ++i) {
+    const InterleavedSlot slot = interleaved_slot(i);
+    out[i] = (slot.tile == 0 ? mma0 : mma1)[slot.word];
+  }
+  return out;
+}
+
+}  // namespace jigsaw::sptc

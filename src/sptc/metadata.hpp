@@ -1,0 +1,97 @@
+// 2:4 compression and SpTC metadata handling for mma.sp.m16n8k32 (fp16).
+//
+// A logical 16x32 fp16 operand tile with 2:4 structured sparsity compresses
+// to a 16x16 value tile plus metadata: for every group of four consecutive
+// logical columns, two 2-bit indices record where the two kept values sat
+// inside the group. One row has 8 groups x 2 indices x 2 bits = 32 bits,
+// so a whole tile's metadata is exactly 16 uint32 words — the numbers
+// quoted in §3.4.3 of the paper.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "common/fp16.hpp"
+#include "common/span2d.hpp"
+
+namespace jigsaw::sptc {
+
+inline constexpr int kTileRows = 16;       ///< m of mma.sp.m16n8k32
+inline constexpr int kTileLogicalCols = 32;  ///< logical k
+inline constexpr int kTileCompressedCols = 16;  ///< k/2 after compression
+inline constexpr int kGroupsPerRow = kTileLogicalCols / 4;
+
+/// One compressed 16x32 -> 16x16 operand tile with its metadata.
+struct CompressedTile {
+  std::array<fp16_t, kTileRows * kTileCompressedCols> values{};
+  std::array<std::uint32_t, kTileRows> metadata{};
+
+  fp16_t value(int r, int c) const { return values[r * kTileCompressedCols + c]; }
+  /// 2-bit in-group index of compressed element (r, c): the logical column
+  /// is 4 * (c / 2) + index.
+  int index(int r, int c) const {
+    const int group = c / 2, slot = c % 2;
+    return static_cast<int>((metadata[r] >> (4 * group + 2 * slot)) & 0x3u);
+  }
+  /// Logical column of compressed element (r, c) within the 32-wide tile.
+  int logical_col(int r, int c) const { return 4 * (c / 2) + index(r, c); }
+};
+
+/// Compresses a 16x32 logical tile. Returns false (leaving `out`
+/// unspecified) when any 4-group of any row holds more than two nonzeros,
+/// i.e. the tile does not satisfy 2:4. Groups with fewer than two nonzeros
+/// are padded with zero-valued slots at the lowest unused in-group indices,
+/// keeping the two indices of each group strictly increasing as required by
+/// the hardware metadata encoding.
+bool compress_tile(ConstSpan2d<fp16_t> logical, CompressedTile& out);
+
+/// Expands a compressed tile back to its 16x32 logical form (zero-filled).
+void decompress_tile(const CompressedTile& in, Span2d<fp16_t> logical);
+
+// --- Metadata thread distribution (operand E / selector F of mma.sp) ------
+//
+// For fp16 m16n8k32, half the threads of the warp supply metadata: with
+// F = 0 the threads whose lane id satisfies lane%4 in {0,1} (lanes
+// 0,1,4,5,...,28,29, as in Figure 9); with F = 1 the lanes with
+// lane%4 in {2,3}. Each supplying lane holds one 32-bit word.
+
+/// True when `lane` supplies metadata under selector `f` (f in {0,1}).
+constexpr bool lane_supplies_metadata(int lane, int f) {
+  return (lane % 4) / 2 == f;
+}
+
+/// Metadata word index (0..15) supplied by `lane` under selector `f`.
+/// Precondition: lane_supplies_metadata(lane, f).
+constexpr int lane_metadata_word(int lane, int f) {
+  return 2 * (lane / 4) + (lane % 4) - 2 * f;
+}
+
+/// Lane that supplies metadata word `w` (0..15) under selector `f`.
+constexpr int metadata_owner_lane(int w, int f) {
+  return 4 * (w / 2) + (w % 2) + 2 * f;
+}
+
+// --- Interleaved two-MMA metadata layout (§3.4.3) --------------------------
+//
+// The metadata of two consecutive mma.sp operations (executed with F=0 and
+// F=1) is stored as 32 words arranged so that lane i of the warp loads word
+// i directly: no branch, no wasted loads, and a single ldmatrix-shaped
+// access covers both operations.
+
+/// Builds the 32-word interleaved array from the metadata of two tiles.
+std::array<std::uint32_t, 32> interleave_metadata(
+    const std::array<std::uint32_t, 16>& mma0,
+    const std::array<std::uint32_t, 16>& mma1);
+
+/// Recovers (tile_index, word_index) served by interleaved position `i`.
+struct InterleavedSlot {
+  int tile = 0;  ///< 0 => first mma (F=0), 1 => second mma (F=1)
+  int word = 0;  ///< metadata word 0..15 within that tile
+};
+constexpr InterleavedSlot interleaved_slot(int i) {
+  const int f = (i % 4) / 2;
+  return InterleavedSlot{f, lane_metadata_word(i, f)};
+}
+
+}  // namespace jigsaw::sptc

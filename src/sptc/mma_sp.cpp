@@ -1,0 +1,44 @@
+#include "sptc/mma_sp.hpp"
+
+#include "common/error.hpp"
+
+namespace jigsaw::sptc {
+
+void mma_sp_m16n8k32(const CompressedTile& a, ConstSpan2d<fp16_t> b,
+                     Span2d<float> d) {
+  JIGSAW_CHECK(b.rows() == kTileLogicalCols);
+  JIGSAW_CHECK(d.rows() == kTileRows);
+  JIGSAW_CHECK(b.cols() == d.cols() && d.cols() <= 8);
+  const std::size_t n = d.cols();
+  for (int r = 0; r < kTileRows; ++r) {
+    for (int c = 0; c < kTileCompressedCols; ++c) {
+      const fp16_t av = a.value(r, c);
+      if (av.is_zero()) continue;
+      const float af = static_cast<float>(av);
+      // The hardware selector: metadata picks the B row inside the group.
+      const int brow = a.logical_col(r, c);
+      for (std::size_t j = 0; j < n; ++j) {
+        d(r, j) += af * static_cast<float>(b(brow, j));
+      }
+    }
+  }
+}
+
+void mma_m16n8k16(ConstSpan2d<fp16_t> a, ConstSpan2d<fp16_t> b,
+                  Span2d<float> d) {
+  JIGSAW_CHECK(a.rows() == 16 && a.cols() == 16);
+  JIGSAW_CHECK(b.rows() == 16);
+  JIGSAW_CHECK(d.rows() == 16 && d.cols() == b.cols() && d.cols() <= 8);
+  const std::size_t n = d.cols();
+  for (int r = 0; r < 16; ++r) {
+    for (int k = 0; k < 16; ++k) {
+      const float af = static_cast<float>(a(r, k));
+      if (af == 0.0f) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        d(r, j) += af * static_cast<float>(b(k, j));
+      }
+    }
+  }
+}
+
+}  // namespace jigsaw::sptc

@@ -1,0 +1,30 @@
+// Functional model of the mma.sp sparse tensor-core instruction.
+//
+// Computes D = A x B + C at warp granularity with exactly the semantics of
+// PTX mma.sp.sync.aligned.m16n8k32 for fp16 inputs and fp32 accumulators:
+// the compressed A fragment supplies 16 values per row, the metadata
+// selects which of each group's four B rows each value multiplies, and
+// accumulation is in fp32. Any error in metadata packing or compressed
+// value placement changes the numeric result, so the correctness tests
+// exercise the storage format end to end.
+#pragma once
+
+#include "common/span2d.hpp"
+#include "sptc/metadata.hpp"
+
+namespace jigsaw::sptc {
+
+/// D = A_compressed x B + D, logical shape m16n8k32.
+///   a: compressed 16x16 values + metadata (one 16x32 logical tile)
+///   b: 32 x n slice of the dense RHS (n <= 8 lanes used; pass n == 8
+///      for a full instruction, fewer for an edge tile)
+///   d: 16 x n fp32 accumulators, updated in place
+void mma_sp_m16n8k32(const CompressedTile& a, ConstSpan2d<fp16_t> b,
+                     Span2d<float> d);
+
+/// Dense tensor-core reference op (m16n8k16), used by the dense-TC
+/// baselines: D = A x B + D with a 16x16 fp16 A tile.
+void mma_m16n8k16(ConstSpan2d<fp16_t> a, ConstSpan2d<fp16_t> b,
+                  Span2d<float> d);
+
+}  // namespace jigsaw::sptc

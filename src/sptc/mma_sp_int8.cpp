@@ -1,0 +1,82 @@
+#include "sptc/mma_sp_int8.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace jigsaw::sptc {
+
+bool compress_tile_int8(ConstSpan2d<std::int8_t> logical,
+                        CompressedTileInt8& out) {
+  JIGSAW_CHECK(logical.rows() == kInt8TileRows &&
+               logical.cols() == kInt8LogicalCols);
+  out = CompressedTileInt8{};
+  for (int r = 0; r < kInt8TileRows; ++r) {
+    for (int g = 0; g < kInt8GroupsPerRow; ++g) {
+      int idx[4];
+      int nnz = 0;
+      for (int j = 0; j < 4; ++j) {
+        if (logical(static_cast<std::size_t>(r),
+                    static_cast<std::size_t>(4 * g + j)) != 0) {
+          if (nnz == 2) return false;
+          idx[nnz++] = j;
+        }
+      }
+      for (int j = 0; nnz < 2 && j < 4; ++j) {
+        bool used = false;
+        for (int t = 0; t < nnz; ++t) used |= (idx[t] == j);
+        if (!used) idx[nnz++] = j;
+      }
+      if (idx[0] > idx[1]) std::swap(idx[0], idx[1]);
+
+      for (int slot = 0; slot < 2; ++slot) {
+        out.values[static_cast<std::size_t>(r * kInt8CompressedCols + 2 * g +
+                                            slot)] =
+            logical(static_cast<std::size_t>(r),
+                    static_cast<std::size_t>(4 * g + idx[slot]));
+        out.metadata[static_cast<std::size_t>(2 * r + g / 8)] |=
+            static_cast<std::uint32_t>(idx[slot])
+            << (4 * (g % 8) + 2 * slot);
+      }
+    }
+  }
+  return true;
+}
+
+void decompress_tile_int8(const CompressedTileInt8& in,
+                          Span2d<std::int8_t> logical) {
+  JIGSAW_CHECK(logical.rows() == kInt8TileRows &&
+               logical.cols() == kInt8LogicalCols);
+  for (int r = 0; r < kInt8TileRows; ++r) {
+    for (int c = 0; c < kInt8LogicalCols; ++c) {
+      logical(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) = 0;
+    }
+    for (int c = 0; c < kInt8CompressedCols; ++c) {
+      logical(static_cast<std::size_t>(r),
+              static_cast<std::size_t>(in.logical_col(r, c))) =
+          in.value(r, c);
+    }
+  }
+}
+
+void mma_sp_m16n8k64_s8(const CompressedTileInt8& a,
+                        ConstSpan2d<std::int8_t> b, Span2d<std::int32_t> d) {
+  JIGSAW_CHECK(b.rows() == kInt8LogicalCols);
+  JIGSAW_CHECK(d.rows() == kInt8TileRows);
+  JIGSAW_CHECK(b.cols() == d.cols() && d.cols() <= 8);
+  const std::size_t n = d.cols();
+  for (int r = 0; r < kInt8TileRows; ++r) {
+    for (int c = 0; c < kInt8CompressedCols; ++c) {
+      const std::int32_t av = a.value(r, c);
+      if (av == 0) continue;
+      const int brow = a.logical_col(r, c);
+      for (std::size_t j = 0; j < n; ++j) {
+        d(static_cast<std::size_t>(r), j) +=
+            av * static_cast<std::int32_t>(
+                     b(static_cast<std::size_t>(brow), j));
+      }
+    }
+  }
+}
+
+}  // namespace jigsaw::sptc

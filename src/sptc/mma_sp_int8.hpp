@@ -1,0 +1,57 @@
+// Functional model of the int8 sparse tensor core op, mma.sp.m16n8k64.s8
+// (Table 1's u8/s8 row). The 2:4 pattern applies to groups of four int8
+// elements: a logical 16x64 operand compresses to 16x32 values with two
+// 2-bit indices per group — 16 groups per row, so each row's metadata
+// spans two 32-bit words (64 bits), twice the fp16 shape's footprint.
+// Accumulation is exact int32, so tests can require bit equality.
+//
+// The fp16 kernel is the paper's implementation target; this op exists to
+// cover the instruction table and to ground the Magicube model's integer
+// pipe in real semantics.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/span2d.hpp"
+
+namespace jigsaw::sptc {
+
+inline constexpr int kInt8TileRows = 16;
+inline constexpr int kInt8LogicalCols = 64;
+inline constexpr int kInt8CompressedCols = 32;
+inline constexpr int kInt8GroupsPerRow = kInt8LogicalCols / 4;
+
+struct CompressedTileInt8 {
+  std::array<std::int8_t, kInt8TileRows * kInt8CompressedCols> values{};
+  /// Two metadata words per row: word r*2 covers groups 0..7, word r*2+1
+  /// groups 8..15; bit layout within a word matches the fp16 encoding.
+  std::array<std::uint32_t, kInt8TileRows * 2> metadata{};
+
+  std::int8_t value(int r, int c) const {
+    return values[static_cast<std::size_t>(r * kInt8CompressedCols + c)];
+  }
+  int index(int r, int c) const {
+    const int group = c / 2, slot = c % 2;
+    const std::uint32_t word =
+        metadata[static_cast<std::size_t>(2 * r + group / 8)];
+    return static_cast<int>((word >> (4 * (group % 8) + 2 * slot)) & 0x3u);
+  }
+  int logical_col(int r, int c) const { return 4 * (c / 2) + index(r, c); }
+};
+
+/// Compresses a 16x64 int8 tile; false when 2:4 is violated. Groups with
+/// fewer than two nonzeros pad with zero-valued slots at the lowest unused
+/// indices (indices strictly increasing per group).
+bool compress_tile_int8(ConstSpan2d<std::int8_t> logical,
+                        CompressedTileInt8& out);
+
+/// Expands back to the 16x64 logical tile (zero-filled).
+void decompress_tile_int8(const CompressedTileInt8& in,
+                          Span2d<std::int8_t> logical);
+
+/// D = A_compressed x B + D: b is 64 x n int8 (n <= 8), d is 16 x n int32.
+void mma_sp_m16n8k64_s8(const CompressedTileInt8& a,
+                        ConstSpan2d<std::int8_t> b, Span2d<std::int32_t> d);
+
+}  // namespace jigsaw::sptc

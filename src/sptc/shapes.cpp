@@ -1,0 +1,37 @@
+#include "sptc/shapes.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace jigsaw::sptc {
+
+namespace {
+constexpr std::array<MmaShape, 2> kTf32Shapes{{{16, 8, 16}, {16, 8, 8}}};
+constexpr std::array<MmaShape, 2> kFp16Shapes{{{16, 8, 16}, {16, 8, 32}}};
+constexpr std::array<MmaShape, 2> kInt8Shapes{{{16, 8, 32}, {16, 8, 64}}};
+constexpr std::array<MmaShape, 2> kInt4Shapes{{{16, 8, 64}, {16, 8, 128}}};
+}  // namespace
+
+std::span<const MmaShape> supported_shapes(Precision p) {
+  switch (p) {
+    case Precision::kTf32:
+      return kTf32Shapes;
+    case Precision::kFp16:
+    case Precision::kBf16:
+      return kFp16Shapes;
+    case Precision::kU8:
+    case Precision::kS8:
+      return kInt8Shapes;
+    case Precision::kU4:
+    case Precision::kS4:
+      return kInt4Shapes;
+  }
+  return {};
+}
+
+bool is_supported(Precision p, const MmaShape& s) {
+  const auto shapes = supported_shapes(p);
+  return std::find(shapes.begin(), shapes.end(), s) != shapes.end();
+}
+
+}  // namespace jigsaw::sptc

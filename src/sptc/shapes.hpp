@@ -1,0 +1,34 @@
+// Sparse tensor core instruction shapes (Table 1 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace jigsaw::sptc {
+
+enum class Precision : std::uint8_t { kTf32, kFp16, kBf16, kU8, kS8, kU4, kS4 };
+
+struct MmaShape {
+  int m = 0;
+  int n = 0;
+  int k = 0;
+  constexpr std::uint64_t macs() const {
+    return static_cast<std::uint64_t>(m) * n * k;
+  }
+  friend constexpr bool operator==(const MmaShape&, const MmaShape&) = default;
+};
+
+/// The shape Jigsaw uses throughout: mma.sp.m16n8k32 on fp16. Per the
+/// microbenchmark study cited in the paper (Sun et al., TPDS'23), this is
+/// the only fp16 sparse shape that matches dense MMA latency; m16n8k16
+/// would *reduce* throughput.
+inline constexpr MmaShape kJigsawMma{16, 8, 32};
+
+/// Shapes supported by the Ampere sparse tensor core for each precision
+/// (Table 1). Returns an empty span for unsupported precisions.
+std::span<const MmaShape> supported_shapes(Precision p);
+
+/// True when (shape, precision) is a legal mma.sp configuration.
+bool is_supported(Precision p, const MmaShape& s);
+
+}  // namespace jigsaw::sptc

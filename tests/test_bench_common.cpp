@@ -1,0 +1,93 @@
+// Bench-infrastructure tests: table formatting, CSV export, and speedup
+// aggregation (these utilities shape every published number, so they get
+// the same scrutiny as the library).
+#include "bench_common.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace jigsaw::bench {
+namespace {
+
+TEST(BenchTable, AlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer-name", "2.50"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // All rows share the same width.
+  std::istringstream lines(out);
+  std::string first, line;
+  std::getline(lines, first);
+  while (std::getline(lines, line)) EXPECT_EQ(line.size(), first.size());
+}
+
+TEST(BenchTable, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(BenchTable, CsvEscapesCommas) {
+  Table t({"name", "value"});
+  t.add_row({"x,y", "1"});
+  std::ostringstream os;
+  t.csv(os);
+  EXPECT_EQ(os.str(), "name,value\n\"x,y\",1\n");
+}
+
+TEST(BenchTable, MaybeWriteCsvHonorsEnv) {
+  Table t({"h"});
+  t.add_row({"v"});
+  unsetenv("JIGSAW_BENCH_CSV");
+  maybe_write_csv(t, "probe");  // no env: must be a no-op, no crash
+
+  setenv("JIGSAW_BENCH_CSV", "/tmp", 1);
+  maybe_write_csv(t, "jigsaw_csv_probe");
+  unsetenv("JIGSAW_BENCH_CSV");
+  std::ifstream is("/tmp/jigsaw_csv_probe.csv");
+  ASSERT_TRUE(is.good());
+  std::string header;
+  std::getline(is, header);
+  EXPECT_EQ(header, "h");
+  std::remove("/tmp/jigsaw_csv_probe.csv");
+}
+
+TEST(BenchFmt, Precision) {
+  EXPECT_EQ(fmt(1.23456), "1.23");
+  EXPECT_EQ(fmt(1.23456, 0), "1");
+  EXPECT_EQ(fmt(99.999, 1), "100.0");
+}
+
+TEST(SpeedupAccumulatorTest, AvgMaxAndMissingKeys) {
+  SpeedupAccumulator acc;
+  acc.add("k", 1.0);
+  acc.add("k", 3.0);
+  acc.add("k", 2.0);
+  EXPECT_DOUBLE_EQ(acc.average("k"), 2.0);
+  EXPECT_DOUBLE_EQ(acc.maximum("k"), 3.0);
+  EXPECT_EQ(acc.avg_max("k"), "2.00/3.00");
+  EXPECT_EQ(acc.avg_max("missing"), "-");
+  EXPECT_DOUBLE_EQ(acc.average("missing"), 0.0);
+  EXPECT_TRUE(acc.samples("missing").empty());
+}
+
+TEST(BenchSuite, QuickAndFullShapes) {
+  unsetenv("JIGSAW_BENCH_FULL");
+  EXPECT_FALSE(full_suite());
+  const auto quick = bench_shapes();
+  setenv("JIGSAW_BENCH_FULL", "1", 1);
+  EXPECT_TRUE(full_suite());
+  const auto full = bench_shapes();
+  unsetenv("JIGSAW_BENCH_FULL");
+  EXPECT_GT(full.size(), quick.size());
+}
+
+}  // namespace
+}  // namespace jigsaw::bench

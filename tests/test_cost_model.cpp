@@ -1,0 +1,161 @@
+// Cost-model tests: resource bounds, limiter identification, latency
+// hiding, wave quantization, and derived Nsight-style metrics.
+#include "gpusim/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jigsaw::gpusim {
+namespace {
+
+LaunchConfig full_launch() {
+  LaunchConfig l;
+  l.blocks = 108 * 8;
+  l.threads_per_block = 128;
+  l.smem_per_block = 16 * 1024;
+  l.regs_per_thread = 64;
+  return l;
+}
+
+TEST(CostModel, TensorCoreBoundKernel) {
+  CostModel cm;
+  KernelCounters c;
+  // 1e9 dense MACs: at 1024 MAC/cycle/SM * 108 SMs -> ~9042 cycles.
+  c.tc_fp16_macs = 1e9;
+  const auto r = cm.estimate("tc", c, full_launch());
+  EXPECT_NEAR(r.breakdown.tensor_core, 1e9 / (1024.0 * 108.0), 1e-6);
+  EXPECT_STREQ(r.breakdown.limiter_name(), "tensor_core");
+  EXPECT_GT(r.duration_cycles, r.breakdown.tensor_core);  // + fixed overhead
+}
+
+TEST(CostModel, SparseMacsAreHalfCost) {
+  CostModel cm;
+  KernelCounters dense, sparse;
+  dense.tc_fp16_macs = 1e9;
+  sparse.sptc_macs = 1e9;
+  const auto rd = cm.estimate("d", dense, full_launch());
+  const auto rs = cm.estimate("s", sparse, full_launch());
+  EXPECT_NEAR(rs.breakdown.tensor_core, rd.breakdown.tensor_core / 2.0, 1e-9);
+}
+
+TEST(CostModel, DramBoundKernel) {
+  CostModel cm;
+  KernelCounters c;
+  c.dram_read_bytes = 1.0e9;
+  const auto r = cm.estimate("mem", c, full_launch());
+  EXPECT_STREQ(r.breakdown.limiter_name(), "dram");
+  // 1555 GB/s at 1.41 GHz -> ~1102.8 B/cycle.
+  EXPECT_NEAR(r.breakdown.dram, 1.0e9 / a100().dram_bytes_per_cycle(), 1.0);
+}
+
+TEST(CostModel, SharedMemoryTransactionsCost) {
+  CostModel cm;
+  KernelCounters c;
+  c.smem_load_transactions = 108.0 * 1000.0;
+  const auto r = cm.estimate("smem", c, full_launch());
+  EXPECT_NEAR(r.breakdown.shared_memory, 1000.0, 1e-9);
+}
+
+TEST(CostModel, StallsHiddenByOccupancy) {
+  CostModel cm;
+  KernelCounters c;
+  c.long_scoreboard_warp_cycles = 1e6;
+  auto high_occ = full_launch();  // 16 blocks/SM -> 64 warps
+  auto low_occ = full_launch();
+  low_occ.smem_per_block = 160 * 1024;  // 1 block/SM -> 4 warps
+  const auto rh = cm.estimate("h", c, high_occ);
+  const auto rl = cm.estimate("l", c, low_occ);
+  EXPECT_LT(rh.breakdown.stalls, rl.breakdown.stalls);
+  // Exposed stalls shrink in proportion to the resident warps available to
+  // hide them.
+  const double expected =
+      static_cast<double>(rh.occupancy.warps_per_sm) /
+      static_cast<double>(rl.occupancy.warps_per_sm);
+  EXPECT_NEAR(rl.breakdown.stalls / rh.breakdown.stalls, expected, 1e-6);
+}
+
+TEST(CostModel, WaveQuantizationPenalizesPartialWaves) {
+  CostModel cm;
+  KernelCounters c;
+  c.tc_fp16_macs = 1e9;
+  auto full = full_launch();
+  full.blocks = 108;  // one block per SM, perfectly balanced
+  auto ragged = full_launch();
+  ragged.blocks = 108 + 1;  // one SM runs two blocks back to back
+  const auto rf = cm.estimate("f", c, full);
+  const auto rr = cm.estimate("r", c, ragged);
+  EXPECT_GT(rr.duration_cycles, rf.duration_cycles * 1.6);
+}
+
+TEST(CostModel, SmallLaunchScalesUp) {
+  // With only 1 block, 107 SMs idle: duration inflates accordingly.
+  CostModel cm;
+  KernelCounters c;
+  c.tc_fp16_macs = 1e8;
+  auto tiny = full_launch();
+  tiny.blocks = 1;
+  auto big = full_launch();
+  big.blocks = 108 * 16;
+  const auto rt = cm.estimate("t", c, tiny);
+  const auto rb = cm.estimate("b", c, big);
+  EXPECT_GT(rt.duration_cycles, 10.0 * rb.breakdown.tensor_core);
+}
+
+TEST(CostModel, DurationUsMatchesClock) {
+  CostModel cm;
+  KernelCounters c;
+  c.tc_fp16_macs = 1e9;
+  const auto r = cm.estimate("x", c, full_launch());
+  EXPECT_NEAR(r.duration_us, r.duration_cycles / (1.41 * 1e3), 1e-6);
+}
+
+TEST(CostModel, NsightStyleMetrics) {
+  CostModel cm;
+  KernelCounters c;
+  c.instructions = 1000;
+  c.long_scoreboard_warp_cycles = 1820;
+  c.short_scoreboard_warp_cycles = 500;
+  const auto r = cm.estimate("m", c, full_launch());
+  EXPECT_NEAR(r.warp_long_scoreboard(), 1.82, 1e-9);
+  EXPECT_NEAR(r.warp_short_scoreboard(), 0.5, 1e-9);
+}
+
+TEST(CostModel, SequenceAddsDurations) {
+  CostModel cm;
+  KernelCounters c1, c2;
+  c1.tc_fp16_macs = 1e8;
+  c2.cuda_macs = 1e8;
+  const auto r1 = cm.estimate("a", c1, full_launch());
+  const auto r2 = cm.estimate("b", c2, full_launch());
+  const auto seq = KernelReport::sequence("a+b", r1, r2);
+  EXPECT_DOUBLE_EQ(seq.duration_cycles,
+                   r1.duration_cycles + r2.duration_cycles);
+  EXPECT_DOUBLE_EQ(seq.counters.tc_fp16_macs, 1e8);
+  EXPECT_DOUBLE_EQ(seq.counters.cuda_macs, 1e8);
+}
+
+TEST(CostModel, CudaCoreSlowerThanTensorCore) {
+  CostModel cm;
+  KernelCounters tc, cuda;
+  tc.tc_fp16_macs = 1e9;
+  cuda.cuda_macs = 1e9;
+  const auto rt = cm.estimate("tc", tc, full_launch());
+  const auto rc = cm.estimate("cc", cuda, full_launch());
+  EXPECT_NEAR(rc.breakdown.cuda_core / rt.breakdown.tensor_core, 4.0, 1e-6);
+}
+
+TEST(KernelCounters, AccumulateAndScale) {
+  KernelCounters a, b;
+  a.instructions = 10;
+  a.dram_read_bytes = 100;
+  b.instructions = 5;
+  b.smem_bank_conflicts = 3;
+  a += b;
+  EXPECT_DOUBLE_EQ(a.instructions, 15);
+  EXPECT_DOUBLE_EQ(a.smem_bank_conflicts, 3);
+  a.scale(2.0);
+  EXPECT_DOUBLE_EQ(a.instructions, 30);
+  EXPECT_DOUBLE_EQ(a.dram_read_bytes, 200);
+}
+
+}  // namespace
+}  // namespace jigsaw::gpusim

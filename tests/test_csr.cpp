@@ -1,0 +1,72 @@
+// CSR conversion and accessor tests.
+#include "matrix/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "matrix/vector_sparse.hpp"
+
+namespace jigsaw {
+namespace {
+
+DenseMatrix<fp16_t> small_matrix() {
+  DenseMatrix<fp16_t> m(3, 4);
+  m(0, 1) = fp16_t(1.0f);
+  m(0, 3) = fp16_t(2.0f);
+  m(2, 0) = fp16_t(-3.0f);
+  return m;
+}
+
+TEST(Csr, FromDenseStructure) {
+  const auto csr = CsrMatrix::from_dense(small_matrix());
+  EXPECT_EQ(csr.rows(), 3u);
+  EXPECT_EQ(csr.cols(), 4u);
+  EXPECT_EQ(csr.nnz(), 3u);
+  const std::vector<std::uint32_t> offsets{0, 2, 2, 3};
+  EXPECT_EQ(csr.row_offsets(), offsets);
+  const std::vector<std::uint32_t> cols{1, 3, 0};
+  EXPECT_EQ(csr.col_indices(), cols);
+  EXPECT_EQ(static_cast<float>(csr.values()[0]), 1.0f);
+  EXPECT_EQ(static_cast<float>(csr.values()[2]), -3.0f);
+}
+
+TEST(Csr, RowNnz) {
+  const auto csr = CsrMatrix::from_dense(small_matrix());
+  EXPECT_EQ(csr.row_nnz(0), 2u);
+  EXPECT_EQ(csr.row_nnz(1), 0u);
+  EXPECT_EQ(csr.row_nnz(2), 1u);
+}
+
+TEST(Csr, RoundTripDense) {
+  const auto dense = small_matrix();
+  const auto back = CsrMatrix::from_dense(dense).to_dense();
+  EXPECT_EQ(back, dense);
+}
+
+TEST(Csr, RoundTripRandomVectorSparse) {
+  VectorSparseOptions opts;
+  opts.rows = 64;
+  opts.cols = 96;
+  opts.vector_width = 4;
+  opts.sparsity = 0.9;
+  opts.seed = 5;
+  const auto vs = VectorSparseGenerator::generate(opts);
+  const auto back = CsrMatrix::from_dense(vs.values()).to_dense();
+  EXPECT_EQ(back, vs.values());
+}
+
+TEST(Csr, EmptyMatrix) {
+  DenseMatrix<fp16_t> zeros(4, 4);
+  const auto csr = CsrMatrix::from_dense(zeros);
+  EXPECT_EQ(csr.nnz(), 0u);
+  EXPECT_EQ(csr.to_dense(), zeros);
+}
+
+TEST(Csr, MemoryBytes) {
+  const auto csr = CsrMatrix::from_dense(small_matrix());
+  // 3 values * 2B + 3 col indices * 4B + 4 offsets * 4B.
+  EXPECT_EQ(csr.memory_bytes(), 3 * 2u + 3 * 4u + 4 * 4u);
+}
+
+}  // namespace
+}  // namespace jigsaw

@@ -1,0 +1,82 @@
+// Tests of DenseMatrix, Span2d views, and fp16 conversions.
+#include "matrix/dense.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jigsaw {
+namespace {
+
+TEST(DenseMatrix, ConstructAndIndex) {
+  DenseMatrix<float> m(3, 4, 1.5f);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_EQ(m(r, c), 1.5f);
+  }
+  m(2, 3) = -7.0f;
+  EXPECT_EQ(m(2, 3), -7.0f);
+  EXPECT_EQ(m.data()[2 * 4 + 3], -7.0f);  // row-major layout
+}
+
+TEST(DenseMatrix, Equality) {
+  DenseMatrix<int> a(2, 2, 1), b(2, 2, 1), c(2, 2, 2), d(2, 3, 1);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+}
+
+TEST(DenseMatrix, CountNonzerosIgnoresSignedZero) {
+  DenseMatrix<fp16_t> m(2, 2);
+  m(0, 0) = fp16_t(1.0f);
+  m(0, 1) = fp16_t(-0.0f);
+  m(1, 0) = fp16_t(0.0f);
+  m(1, 1) = fp16_t(0x1.0p-24f);  // smallest subnormal counts as nonzero
+  EXPECT_EQ(count_nonzeros(m), 2u);
+  EXPECT_DOUBLE_EQ(sparsity_of(m), 0.5);
+}
+
+TEST(DenseMatrix, SparsityOfEmpty) {
+  DenseMatrix<fp16_t> m;
+  EXPECT_DOUBLE_EQ(sparsity_of(m), 0.0);
+}
+
+TEST(DenseMatrix, ToFloatRoundTrip) {
+  DenseMatrix<float> src(2, 3);
+  float v = 0.0f;
+  for (std::size_t i = 0; i < src.size(); ++i) src.data()[i] = (v += 0.25f);
+  const auto h = to_fp16(src);
+  const auto back = to_float(h);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    EXPECT_EQ(back.data()[i], src.data()[i]);  // quarters are half-exact
+  }
+}
+
+TEST(Span2d, SubviewAliasesStorage) {
+  DenseMatrix<int> m(4, 4, 0);
+  auto view = m.view();
+  auto sub = view.subview(1, 1, 2, 2);
+  sub(0, 0) = 42;
+  sub(1, 1) = 43;
+  EXPECT_EQ(m(1, 1), 42);
+  EXPECT_EQ(m(2, 2), 43);
+  EXPECT_EQ(sub.rows(), 2u);
+  EXPECT_EQ(sub.cols(), 2u);
+  EXPECT_EQ(sub.ld(), 4u);
+}
+
+TEST(Span2d, RowPointer) {
+  DenseMatrix<int> m(3, 5, 0);
+  m(2, 0) = 9;
+  EXPECT_EQ(m.view().row(2)[0], 9);
+}
+
+TEST(Span2d, ConstConversion) {
+  DenseMatrix<int> m(2, 2, 7);
+  Span2d<int> mut = m.view();
+  ConstSpan2d<int> cview = mut;  // implicit T -> const T
+  EXPECT_EQ(cview(1, 1), 7);
+}
+
+}  // namespace
+}  // namespace jigsaw

@@ -1,0 +1,60 @@
+// DLMC-like suite tests: shape coverage, determinism, and sparsity.
+#include "dlmc/suite.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jigsaw::dlmc {
+namespace {
+
+TEST(DlmcSuite, ShapesCoverPaperRange) {
+  const auto shapes = default_shapes();
+  EXPECT_GE(shapes.size(), 10u);
+  std::size_t min_k = SIZE_MAX, max_k = 0;
+  for (const auto& s : shapes) {
+    min_k = std::min(min_k, s.k);
+    max_k = std::max(max_k, s.k);
+    EXPECT_EQ(s.m % 8, 0u) << s.label();  // v up to 8 must divide M
+  }
+  EXPECT_LE(min_k, 64u);    // §4.3: DLMC K ranges from 64
+  EXPECT_GE(max_k, 4096u);  // ... to 4608
+}
+
+TEST(DlmcSuite, LhsDeterministicPerConfig) {
+  const Shape s{512, 512};
+  const auto a = make_lhs(s, 0.9, 4);
+  const auto b = make_lhs(s, 0.9, 4);
+  EXPECT_EQ(a.values(), b.values());
+}
+
+TEST(DlmcSuite, LhsDiffersAcrossConfigs) {
+  const Shape s{512, 512};
+  EXPECT_FALSE(make_lhs(s, 0.9, 4).mask() == make_lhs(s, 0.95, 4).mask());
+  EXPECT_FALSE(make_lhs(s, 0.9, 4).mask() == make_lhs(s, 0.9, 2).mask());
+  EXPECT_FALSE(make_lhs(s, 0.9, 4).mask() == make_lhs(s, 0.9, 4, 7).mask());
+}
+
+TEST(DlmcSuite, LhsHitsSparsityTarget) {
+  for (const double s : sparsities()) {
+    const auto m = make_lhs(Shape{256, 512}, s, 8);
+    EXPECT_NEAR(m.sparsity(), s, 0.01) << s;
+    EXPECT_EQ(m.vector_width(), 8u);
+  }
+}
+
+TEST(DlmcSuite, RhsDeterministicAndShaped) {
+  const auto b1 = make_rhs(128, 64);
+  const auto b2 = make_rhs(128, 64);
+  EXPECT_EQ(b1, b2);
+  EXPECT_EQ(b1.rows(), 128u);
+  EXPECT_EQ(b1.cols(), 64u);
+  EXPECT_FALSE(make_rhs(128, 64, 3) == b1);
+}
+
+TEST(DlmcSuite, GridsMatchPaper) {
+  EXPECT_EQ(sparsities(), (std::vector<double>{0.80, 0.90, 0.95, 0.98}));
+  EXPECT_EQ(vector_widths(), (std::vector<std::size_t>{2, 4, 8}));
+  EXPECT_EQ(output_widths(), (std::vector<std::size_t>{64, 256, 512}));
+}
+
+}  // namespace
+}  // namespace jigsaw::dlmc

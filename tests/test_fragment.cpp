@@ -1,0 +1,173 @@
+// Fragment-ownership tests: the lane/element maps of mma.sp.m16n8k32 must
+// be bijections onto their operand tiles, the inverse maps must invert
+// them exactly, and a fragment-distributed warp computation must equal the
+// tile-level functional mma.sp.
+#include "sptc/fragment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+#include "common/rng.hpp"
+#include "matrix/dense.hpp"
+#include "matrix/reference.hpp"
+#include "sptc/mma_sp.hpp"
+
+namespace jigsaw::sptc {
+namespace {
+
+TEST(Fragment, ACoversCompressedTileExactlyOnce) {
+  std::set<std::pair<int, int>> seen;
+  for (int lane = 0; lane < 32; ++lane) {
+    for (int e = 0; e < kAFragmentElems; ++e) {
+      const auto c = a_fragment_coord(lane, e);
+      EXPECT_GE(c.row, 0);
+      EXPECT_LT(c.row, 16);
+      EXPECT_GE(c.col, 0);
+      EXPECT_LT(c.col, 16);
+      EXPECT_TRUE(seen.emplace(c.row, c.col).second)
+          << "duplicate (" << c.row << "," << c.col << ")";
+    }
+  }
+  EXPECT_EQ(seen.size(), 16u * 16u);
+}
+
+TEST(Fragment, BCoversLogicalTileExactlyOnce) {
+  std::set<std::pair<int, int>> seen;
+  for (int lane = 0; lane < 32; ++lane) {
+    for (int e = 0; e < kBFragmentElems; ++e) {
+      const auto c = b_fragment_coord(lane, e);
+      EXPECT_GE(c.row, 0);
+      EXPECT_LT(c.row, 32);
+      EXPECT_GE(c.col, 0);
+      EXPECT_LT(c.col, 8);
+      EXPECT_TRUE(seen.emplace(c.row, c.col).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), 32u * 8u);
+}
+
+TEST(Fragment, CCoversAccumulatorExactlyOnce) {
+  std::set<std::pair<int, int>> seen;
+  for (int lane = 0; lane < 32; ++lane) {
+    for (int e = 0; e < kCFragmentElems; ++e) {
+      const auto c = c_fragment_coord(lane, e);
+      EXPECT_GE(c.row, 0);
+      EXPECT_LT(c.row, 16);
+      EXPECT_GE(c.col, 0);
+      EXPECT_LT(c.col, 8);
+      EXPECT_TRUE(seen.emplace(c.row, c.col).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), 16u * 8u);
+}
+
+TEST(Fragment, InverseMapsRoundTrip) {
+  for (int lane = 0; lane < 32; ++lane) {
+    for (int e = 0; e < kAFragmentElems; ++e) {
+      const auto c = a_fragment_coord(lane, e);
+      const auto o = a_fragment_owner(c.row, c.col);
+      EXPECT_EQ(o.lane, lane);
+      EXPECT_EQ(o.elem, e);
+    }
+    for (int e = 0; e < kBFragmentElems; ++e) {
+      const auto c = b_fragment_coord(lane, e);
+      const auto o = b_fragment_owner(c.row, c.col);
+      EXPECT_EQ(o.lane, lane);
+      EXPECT_EQ(o.elem, e);
+    }
+    for (int e = 0; e < kCFragmentElems; ++e) {
+      const auto c = c_fragment_coord(lane, e);
+      const auto o = c_fragment_owner(c.row, c.col);
+      EXPECT_EQ(o.lane, lane);
+      EXPECT_EQ(o.elem, e);
+    }
+  }
+}
+
+TEST(Fragment, QuadStructureMatchesPtxConventions) {
+  // Lane 0 owns the top-left of everything; a lane's quad determines its
+  // rows (A, C) or column (B).
+  EXPECT_EQ(a_fragment_coord(0, 0), (FragmentCoord{0, 0}));
+  EXPECT_EQ(a_fragment_coord(0, 3), (FragmentCoord{8, 1}));
+  EXPECT_EQ(b_fragment_coord(0, 0), (FragmentCoord{0, 0}));
+  EXPECT_EQ(b_fragment_coord(0, 7), (FragmentCoord{25, 0}));
+  EXPECT_EQ(c_fragment_coord(0, 0), (FragmentCoord{0, 0}));
+  // Lane 5: group 1, tid 1.
+  EXPECT_EQ(a_fragment_coord(5, 0), (FragmentCoord{1, 2}));
+  EXPECT_EQ(b_fragment_coord(5, 0), (FragmentCoord{2, 1}));
+  EXPECT_EQ(c_fragment_coord(5, 3), (FragmentCoord{9, 3}));
+}
+
+TEST(Fragment, WarpDistributedMmaMatchesTileLevel) {
+  // Simulate the warp: distribute A (compressed), B and metadata into
+  // per-lane registers via the ownership maps, compute each lane's C
+  // elements from its own registers plus the quad's shared data (gathered
+  // through the maps, as the hardware's operand collectors do), and
+  // compare against the tile-level functional mma.sp.
+  Rng rng(17);
+  DenseMatrix<fp16_t> logical(kTileRows, kTileLogicalCols);
+  for (int r = 0; r < kTileRows; ++r) {
+    for (int g = 0; g < kGroupsPerRow; ++g) {
+      for (const auto p : rng.sample_without_replacement(4, 2)) {
+        logical(static_cast<std::size_t>(r),
+                static_cast<std::size_t>(4 * g + p)) =
+            fp16_t(rng.uniform(-1.0f, 1.0f));
+      }
+    }
+  }
+  CompressedTile tile;
+  ASSERT_TRUE(compress_tile(logical.view(), tile));
+  DenseMatrix<fp16_t> b(kTileLogicalCols, 8);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b.data()[i] = fp16_t(rng.uniform(-1.0f, 1.0f));
+  }
+
+  // Per-lane register files.
+  std::array<std::array<fp16_t, kAFragmentElems>, 32> a_regs{};
+  std::array<std::array<fp16_t, kBFragmentElems>, 32> b_regs{};
+  for (int lane = 0; lane < 32; ++lane) {
+    for (int e = 0; e < kAFragmentElems; ++e) {
+      const auto c = a_fragment_coord(lane, e);
+      a_regs[static_cast<std::size_t>(lane)][static_cast<std::size_t>(e)] =
+          tile.value(c.row, c.col);
+    }
+    for (int e = 0; e < kBFragmentElems; ++e) {
+      const auto c = b_fragment_coord(lane, e);
+      b_regs[static_cast<std::size_t>(lane)][static_cast<std::size_t>(e)] =
+          b(static_cast<std::size_t>(c.row), static_cast<std::size_t>(c.col));
+    }
+  }
+
+  // Each lane computes its four C elements; operands owned by other lanes
+  // are fetched through the inverse maps (modeling the MMA's internal
+  // operand exchange).
+  DenseMatrix<float> d(kTileRows, 8);
+  for (int lane = 0; lane < 32; ++lane) {
+    for (int e = 0; e < kCFragmentElems; ++e) {
+      const auto cc = c_fragment_coord(lane, e);
+      float acc = 0.0f;
+      for (int kc = 0; kc < kTileCompressedCols; ++kc) {
+        const auto ao = a_fragment_owner(cc.row, kc);
+        const fp16_t av = a_regs[static_cast<std::size_t>(
+            ao.lane)][static_cast<std::size_t>(ao.elem)];
+        if (av.is_zero()) continue;
+        const int brow = tile.logical_col(cc.row, kc);
+        const auto bo = b_fragment_owner(brow, cc.col);
+        const fp16_t bv = b_regs[static_cast<std::size_t>(
+            bo.lane)][static_cast<std::size_t>(bo.elem)];
+        acc += static_cast<float>(av) * static_cast<float>(bv);
+      }
+      d(static_cast<std::size_t>(cc.row), static_cast<std::size_t>(cc.col)) =
+          acc;
+    }
+  }
+
+  DenseMatrix<float> expected(kTileRows, 8);
+  mma_sp_m16n8k32(tile, b.view(), expected.view());
+  EXPECT_LE(max_abs_diff(d, expected), 1e-5);
+}
+
+}  // namespace
+}  // namespace jigsaw::sptc

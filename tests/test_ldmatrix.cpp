@@ -1,0 +1,83 @@
+// ldmatrix address-pattern model tests: stage structure and conflict
+// behaviour on padded vs unpadded B tiles.
+#include "sptc/ldmatrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "core/tile_config.hpp"
+
+namespace jigsaw::sptc {
+namespace {
+
+using gpusim::SmemTracker;
+using gpusim::a100;
+
+std::array<std::uint32_t, 32> rows_with_stride(std::uint32_t stride_bytes) {
+  std::array<std::uint32_t, 32> addr{};
+  for (int i = 0; i < 32; ++i) {
+    addr[static_cast<std::size_t>(i)] =
+        static_cast<std::uint32_t>(i) * stride_bytes;
+  }
+  return addr;
+}
+
+TEST(Ldmatrix, PaddedLayoutIsConflictFree) {
+  // Stride 72 halfs = 144 B (64-wide B tile + 4-bank pad).
+  SmemTracker t(a100());
+  ldmatrix_x4(rows_with_stride(144), t);
+  EXPECT_EQ(t.load_transactions(), 4u);  // one per stage
+  EXPECT_EQ(t.conflicts(), 0u);
+}
+
+TEST(Ldmatrix, UnpaddedLayoutFullyConflicts) {
+  // Stride 128 B = 32 words: every row starts at bank 0.
+  SmemTracker t(a100());
+  ldmatrix_x4(rows_with_stride(128), t);
+  EXPECT_EQ(t.load_transactions(), 32u);  // 8 per stage
+  EXPECT_EQ(t.conflicts(), 28u);          // 7 per stage
+}
+
+TEST(Ldmatrix, X2AndX1StageCounts) {
+  SmemTracker t(a100());
+  const auto addr = rows_with_stride(144);
+  ldmatrix_x2(std::span<const std::uint32_t>(addr).subspan(0, 16), t);
+  EXPECT_EQ(t.load_transactions(), 2u);
+  ldmatrix_x1(std::span<const std::uint32_t>(addr).subspan(0, 8), t);
+  EXPECT_EQ(t.load_transactions(), 3u);
+  EXPECT_EQ(t.conflicts(), 0u);
+}
+
+TEST(Ldmatrix, PermutedRowsCongruentMod8Conflict) {
+  // Rows within a stage that collide mod 8 (e.g. 0 and 8) share banks in
+  // the padded layout — the §3.4.1 failure mode.
+  std::array<std::uint32_t, 8> rows{0, 8, 2, 3, 4, 5, 6, 7};
+  std::array<std::uint32_t, 8> addr{};
+  for (int i = 0; i < 8; ++i) addr[static_cast<std::size_t>(i)] = rows[static_cast<std::size_t>(i)] * 144u;
+  SmemTracker t(a100());
+  ldmatrix_x1(addr, t);
+  EXPECT_EQ(t.load_transactions(), 2u);
+  EXPECT_EQ(t.conflicts(), 1u);
+}
+
+TEST(Ldmatrix, DistinctResiduesConflictFreeEvenWhenPermuted) {
+  // Any permutation whose 8 rows cover the 8 residues mod 8 stays
+  // conflict-free: the property the reorder's group preference targets.
+  std::array<std::uint32_t, 8> rows{8, 1, 10, 3, 12, 5, 14, 7};
+  std::array<std::uint32_t, 8> addr{};
+  for (int i = 0; i < 8; ++i) addr[static_cast<std::size_t>(i)] = rows[static_cast<std::size_t>(i)] * 144u;
+  SmemTracker t(a100());
+  ldmatrix_x1(addr, t);
+  EXPECT_EQ(t.load_transactions(), 1u);
+  EXPECT_EQ(t.conflicts(), 0u);
+}
+
+TEST(Ldmatrix, RejectsWrongAddressCount) {
+  SmemTracker t(a100());
+  std::array<std::uint32_t, 8> addr{};
+  EXPECT_THROW(ldmatrix_x4(addr, t), Error);
+}
+
+}  // namespace
+}  // namespace jigsaw::sptc

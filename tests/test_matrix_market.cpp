@@ -1,0 +1,130 @@
+// Matrix Market I/O tests: banner handling, symmetry, pattern fields,
+// round trips, and malformed-input rejection.
+#include "matrix/matrix_market.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "matrix/vector_sparse.hpp"
+
+namespace jigsaw {
+namespace {
+
+DenseMatrix<fp16_t> parse(const std::string& text) {
+  std::istringstream is(text);
+  return read_matrix_market(is);
+}
+
+TEST(MatrixMarket, ReadsCoordinateReal) {
+  const auto m = parse(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "\n"
+      "3 4 3\n"
+      "1 1 1.5\n"
+      "2 3 -2.0\n"
+      "3 4 0.25\n");
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(static_cast<float>(m(0, 0)), 1.5f);
+  EXPECT_EQ(static_cast<float>(m(1, 2)), -2.0f);
+  EXPECT_EQ(static_cast<float>(m(2, 3)), 0.25f);
+  EXPECT_EQ(count_nonzeros(m), 3u);
+}
+
+TEST(MatrixMarket, ReadsPattern) {
+  const auto m = parse(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 2\n"
+      "2 1\n");
+  EXPECT_EQ(static_cast<float>(m(0, 1)), 1.0f);
+  EXPECT_EQ(static_cast<float>(m(1, 0)), 1.0f);
+  EXPECT_TRUE(m(0, 0).is_zero());
+}
+
+TEST(MatrixMarket, ReadsSymmetric) {
+  const auto m = parse(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 2\n"
+      "2 1 5.0\n"
+      "3 3 7.0\n");
+  EXPECT_EQ(static_cast<float>(m(1, 0)), 5.0f);
+  EXPECT_EQ(static_cast<float>(m(0, 1)), 5.0f);  // mirrored
+  EXPECT_EQ(static_cast<float>(m(2, 2)), 7.0f);  // diagonal not doubled
+}
+
+TEST(MatrixMarket, ReadsInteger) {
+  const auto m = parse(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "1 2 1\n"
+      "1 2 -3\n");
+  EXPECT_EQ(static_cast<float>(m(0, 1)), -3.0f);
+}
+
+TEST(MatrixMarket, RoundTrip) {
+  VectorSparseOptions o;
+  o.rows = 32;
+  o.cols = 48;
+  o.vector_width = 4;
+  o.sparsity = 0.8;
+  o.seed = 4;
+  const auto original = VectorSparseGenerator::generate(o).values();
+  std::ostringstream os;
+  write_matrix_market(original, os);
+  std::istringstream is(os.str());
+  const auto back = read_matrix_market(is);
+  ASSERT_EQ(back.rows(), original.rows());
+  ASSERT_EQ(back.cols(), original.cols());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    // float text round-trips back into the identical fp16 value.
+    EXPECT_NEAR(static_cast<float>(back.data()[i]),
+                static_cast<float>(original.data()[i]), 1e-3f);
+  }
+}
+
+TEST(MatrixMarket, RejectsBadBanner) {
+  EXPECT_THROW(parse("%%NotMatrixMarket matrix coordinate real general\n"),
+               Error);
+  EXPECT_THROW(parse("%%MatrixMarket matrix array real general\n1 1\n"),
+               Error);
+  EXPECT_THROW(parse("%%MatrixMarket matrix coordinate complex general\n"),
+               Error);
+}
+
+TEST(MatrixMarket, RejectsOutOfRangeEntry) {
+  EXPECT_THROW(parse("%%MatrixMarket matrix coordinate real general\n"
+                     "2 2 1\n"
+                     "3 1 1.0\n"),
+               Error);
+  EXPECT_THROW(parse("%%MatrixMarket matrix coordinate real general\n"
+                     "2 2 1\n"
+                     "0 1 1.0\n"),
+               Error);
+}
+
+TEST(MatrixMarket, RejectsTruncatedEntries) {
+  EXPECT_THROW(parse("%%MatrixMarket matrix coordinate real general\n"
+                     "2 2 3\n"
+                     "1 1 1.0\n"),
+               Error);
+}
+
+TEST(MatrixMarket, RejectsMissingFile) {
+  EXPECT_THROW(read_matrix_market_file("/tmp/jigsaw_nope.mtx"), Error);
+}
+
+TEST(MatrixMarket, FileRoundTrip) {
+  DenseMatrix<fp16_t> m(4, 4);
+  m(1, 2) = fp16_t(0.5f);
+  m(3, 0) = fp16_t(-1.0f);
+  const std::string path = "/tmp/jigsaw_mm_test.mtx";
+  write_matrix_market_file(m, path);
+  const auto back = read_matrix_market_file(path);
+  EXPECT_EQ(back, m);
+}
+
+}  // namespace
+}  // namespace jigsaw

@@ -1,0 +1,125 @@
+// int8 sparse tensor core tests: exact (bitwise) integer agreement with a
+// plain reference, round trips, metadata width, and rejection.
+#include "sptc/mma_sp_int8.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "matrix/dense.hpp"
+
+namespace jigsaw::sptc {
+namespace {
+
+DenseMatrix<std::int8_t> random_24_tile(std::uint64_t seed,
+                                        int per_group = 2) {
+  DenseMatrix<std::int8_t> tile(kInt8TileRows, kInt8LogicalCols);
+  Rng rng(seed);
+  for (int r = 0; r < kInt8TileRows; ++r) {
+    for (int g = 0; g < kInt8GroupsPerRow; ++g) {
+      const auto n = static_cast<std::uint32_t>(
+          rng.next_below(static_cast<std::uint64_t>(per_group) + 1));
+      for (const auto p : rng.sample_without_replacement(4, n)) {
+        // Nonzero int8 in [-127, 127] \ {0}.
+        std::int8_t v = 0;
+        while (v == 0) {
+          v = static_cast<std::int8_t>(
+              static_cast<int>(rng.next_below(255)) - 127);
+        }
+        tile(static_cast<std::size_t>(r), static_cast<std::size_t>(4 * g + p)) =
+            v;
+      }
+    }
+  }
+  return tile;
+}
+
+DenseMatrix<std::int8_t> random_b(std::uint64_t seed, std::size_t n = 8) {
+  DenseMatrix<std::int8_t> b(kInt8LogicalCols, n);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b.data()[i] =
+        static_cast<std::int8_t>(static_cast<int>(rng.next_below(255)) - 127);
+  }
+  return b;
+}
+
+DenseMatrix<std::int32_t> reference(const DenseMatrix<std::int8_t>& a,
+                                    const DenseMatrix<std::int8_t>& b) {
+  DenseMatrix<std::int32_t> c(a.rows(), b.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      std::int32_t acc = 0;
+      for (std::size_t k = 0; k < a.cols(); ++k) {
+        acc += static_cast<std::int32_t>(a(r, k)) *
+               static_cast<std::int32_t>(b(k, j));
+      }
+      c(r, j) = acc;
+    }
+  }
+  return c;
+}
+
+TEST(MmaSpInt8, RoundTrip) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto tile = random_24_tile(seed);
+    CompressedTileInt8 ct;
+    ASSERT_TRUE(compress_tile_int8(tile.view(), ct));
+    DenseMatrix<std::int8_t> back(kInt8TileRows, kInt8LogicalCols);
+    decompress_tile_int8(ct, back.view());
+    EXPECT_EQ(back, tile) << seed;
+  }
+}
+
+TEST(MmaSpInt8, MetadataIsTwoWordsPerRow) {
+  CompressedTileInt8 ct;
+  EXPECT_EQ(ct.metadata.size(), 32u);  // 16 rows x 64 bits
+  EXPECT_EQ(ct.values.size(), 16u * 32u);
+}
+
+TEST(MmaSpInt8, RejectsViolation) {
+  auto tile = random_24_tile(7);
+  tile(0, 0) = 1;
+  tile(0, 1) = 2;
+  tile(0, 2) = 3;
+  tile(0, 3) = 0;
+  CompressedTileInt8 ct;
+  EXPECT_FALSE(compress_tile_int8(tile.view(), ct));
+}
+
+TEST(MmaSpInt8, ExactIntegerAgreement) {
+  for (std::uint64_t seed = 11; seed <= 16; ++seed) {
+    const auto a = random_24_tile(seed);
+    const auto b = random_b(seed + 100);
+    CompressedTileInt8 ct;
+    ASSERT_TRUE(compress_tile_int8(a.view(), ct));
+    DenseMatrix<std::int32_t> d(kInt8TileRows, 8);
+    mma_sp_m16n8k64_s8(ct, b.view(), d.view());
+    EXPECT_EQ(d, reference(a, b)) << seed;  // bit-exact int32
+  }
+}
+
+TEST(MmaSpInt8, AccumulatesAndNarrowN) {
+  const auto a = random_24_tile(21);
+  const auto b = random_b(22, 3);
+  CompressedTileInt8 ct;
+  ASSERT_TRUE(compress_tile_int8(a.view(), ct));
+  DenseMatrix<std::int32_t> d(kInt8TileRows, 3, 7);
+  mma_sp_m16n8k64_s8(ct, b.view(), d.view());
+  auto expected = reference(a, b);
+  for (std::size_t i = 0; i < expected.size(); ++i) expected.data()[i] += 7;
+  EXPECT_EQ(d, expected);
+}
+
+TEST(MmaSpInt8, IndicesStrictlyIncreasing) {
+  const auto a = random_24_tile(31, 1);  // 0-1 nonzeros: heavy padding
+  CompressedTileInt8 ct;
+  ASSERT_TRUE(compress_tile_int8(a.view(), ct));
+  for (int r = 0; r < kInt8TileRows; ++r) {
+    for (int g = 0; g < kInt8GroupsPerRow; ++g) {
+      EXPECT_LT(ct.index(r, 2 * g), ct.index(r, 2 * g + 1));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace jigsaw::sptc

@@ -1,0 +1,94 @@
+// Occupancy calculator tests against hand-computed A100 limits.
+#include "gpusim/occupancy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace jigsaw::gpusim {
+namespace {
+
+LaunchConfig basic_launch() {
+  LaunchConfig l;
+  l.blocks = 1080;
+  l.threads_per_block = 128;
+  l.smem_per_block = 0;
+  l.regs_per_thread = 32;
+  return l;
+}
+
+TEST(Occupancy, ThreadLimited) {
+  auto l = basic_launch();
+  l.threads_per_block = 1024;
+  const auto occ = compute_occupancy(l, a100());
+  EXPECT_EQ(occ.blocks_per_sm, 2);  // 2048 / 1024
+  EXPECT_EQ(occ.warps_per_sm, 64);
+  EXPECT_STREQ(occ.limiter, "threads");
+}
+
+TEST(Occupancy, BlockCapLimited) {
+  const auto occ = compute_occupancy(basic_launch(), a100());
+  // 128 threads, no smem, low regs: capped by the 16 = 2048/128 thread
+  // limit, which equals by_threads here.
+  EXPECT_EQ(occ.blocks_per_sm, 16);
+}
+
+TEST(Occupancy, SmemLimited) {
+  auto l = basic_launch();
+  l.smem_per_block = 28 * 1024;  // BLOCK_TILE=64 Jigsaw footprint class
+  const auto occ = compute_occupancy(l, a100());
+  EXPECT_EQ(occ.blocks_per_sm, static_cast<int>((164 * 1024) / (28 * 1024)));
+  EXPECT_STREQ(occ.limiter, "shared_memory");
+}
+
+TEST(Occupancy, RegisterLimited) {
+  auto l = basic_launch();
+  l.threads_per_block = 256;
+  l.regs_per_thread = 255;
+  const auto occ = compute_occupancy(l, a100());
+  EXPECT_EQ(occ.blocks_per_sm, 1);  // 65536 / (255*256) = 1
+  EXPECT_STREQ(occ.limiter, "registers");
+}
+
+TEST(Occupancy, WaveStructure) {
+  auto l = basic_launch();
+  l.smem_per_block = 82 * 1024;  // exactly 2 blocks per SM
+  l.blocks = 108 * 2 * 3;        // exactly 3 waves
+  const auto occ = compute_occupancy(l, a100());
+  EXPECT_EQ(occ.blocks_per_sm, 2);
+  EXPECT_DOUBLE_EQ(occ.waves, 3.0);
+  EXPECT_EQ(occ.full_waves, 3u);
+  EXPECT_DOUBLE_EQ(occ.tail_fraction, 0.0);
+}
+
+TEST(Occupancy, PartialWave) {
+  auto l = basic_launch();
+  l.smem_per_block = 82 * 1024;
+  l.blocks = 108;  // half of one 216-block wave
+  const auto occ = compute_occupancy(l, a100());
+  EXPECT_DOUBLE_EQ(occ.waves, 0.5);
+  EXPECT_EQ(occ.full_waves, 0u);
+  EXPECT_DOUBLE_EQ(occ.tail_fraction, 0.5);
+}
+
+TEST(Occupancy, RejectsNonWarpMultipleThreads) {
+  auto l = basic_launch();
+  l.threads_per_block = 100;
+  EXPECT_THROW(compute_occupancy(l, a100()), Error);
+}
+
+TEST(Occupancy, RejectsOversizedSmem) {
+  auto l = basic_launch();
+  l.smem_per_block = 200 * 1024;
+  EXPECT_THROW(compute_occupancy(l, a100()), Error);
+}
+
+TEST(Occupancy, ZeroBlocksIsEmptyLaunch) {
+  auto l = basic_launch();
+  l.blocks = 0;
+  const auto occ = compute_occupancy(l, a100());
+  EXPECT_DOUBLE_EQ(occ.waves, 0.0);
+}
+
+}  // namespace
+}  // namespace jigsaw::gpusim

@@ -1,0 +1,91 @@
+// Reference GEMM/SpMM tests: hand-checked values, CSR/dense agreement, and
+// tolerance behaviour.
+#include "matrix/reference.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "matrix/vector_sparse.hpp"
+
+namespace jigsaw {
+namespace {
+
+TEST(ReferenceGemm, HandChecked2x2) {
+  DenseMatrix<fp16_t> a(2, 2), b(2, 2);
+  a(0, 0) = fp16_t(1.0f);
+  a(0, 1) = fp16_t(2.0f);
+  a(1, 0) = fp16_t(3.0f);
+  a(1, 1) = fp16_t(4.0f);
+  b(0, 0) = fp16_t(5.0f);
+  b(0, 1) = fp16_t(6.0f);
+  b(1, 0) = fp16_t(7.0f);
+  b(1, 1) = fp16_t(8.0f);
+  const auto c = reference_gemm(a, b);
+  EXPECT_FLOAT_EQ(c(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(c(1, 0), 43.0f);
+  EXPECT_FLOAT_EQ(c(1, 1), 50.0f);
+}
+
+TEST(ReferenceGemm, IdentityLeavesBUnchanged) {
+  const std::size_t n = 8;
+  DenseMatrix<fp16_t> eye(n, n), b(n, n);
+  Rng rng(1);
+  for (std::size_t i = 0; i < n; ++i) eye(i, i) = fp16_t(1.0f);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b.data()[i] = fp16_t(rng.uniform(-1.0f, 1.0f));
+  }
+  const auto c = reference_gemm(eye, b);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_FLOAT_EQ(c(r, j), static_cast<float>(b(r, j)));
+    }
+  }
+}
+
+TEST(ReferenceGemm, ShapeMismatchThrows) {
+  DenseMatrix<fp16_t> a(2, 3), b(4, 2);
+  EXPECT_THROW(reference_gemm(a, b), Error);
+}
+
+TEST(ReferenceSpmm, AgreesWithDense) {
+  VectorSparseOptions o;
+  o.rows = 64;
+  o.cols = 48;
+  o.vector_width = 2;
+  o.sparsity = 0.85;
+  o.seed = 21;
+  const auto a = VectorSparseGenerator::generate(o);
+  DenseMatrix<fp16_t> b(48, 40);
+  Rng rng(2);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b.data()[i] = fp16_t(rng.uniform(-1.0f, 1.0f));
+  }
+  const auto dense = reference_gemm(a.values(), b);
+  const auto sparse = reference_spmm(CsrMatrix::from_dense(a.values()), b);
+  EXPECT_LE(max_abs_diff(dense, sparse), 1e-6);
+}
+
+TEST(MaxAbsDiff, DetectsDifference) {
+  DenseMatrix<float> a(2, 2, 1.0f), b(2, 2, 1.0f);
+  b(1, 0) = 1.5f;
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 0.5f);
+  EXPECT_THROW(max_abs_diff(a, DenseMatrix<float>(2, 3)), Error);
+}
+
+TEST(GemmTolerance, GrowsWithK) {
+  EXPECT_LT(gemm_tolerance(16), gemm_tolerance(4096));
+  EXPECT_LT(gemm_tolerance(64, 1.0), gemm_tolerance(64, 4.0));
+}
+
+TEST(Allclose, AcceptsSmallAndRejectsLargeError) {
+  DenseMatrix<float> a(1, 1), b(1, 1);
+  a(0, 0) = 1.0f;
+  b(0, 0) = 1.0f + 1e-5f;
+  EXPECT_TRUE(allclose(a, b, 64));
+  b(0, 0) = 1.1f;
+  EXPECT_FALSE(allclose(a, b, 64));
+}
+
+}  // namespace
+}  // namespace jigsaw

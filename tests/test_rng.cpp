@@ -1,0 +1,148 @@
+// Tests of the deterministic PRNG: reproducibility, ranges, sampling, and
+// basic statistical sanity.
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace jigsaw {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (const std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000000007ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, FloatsInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const float f = rng.next_float();
+    EXPECT_GE(f, 0.0f);
+    EXPECT_LT(f, 1.0f);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const float x = rng.uniform(-2.5f, 7.0f);
+    EXPECT_GE(x, -2.5f);
+    EXPECT_LT(x, 7.0f);
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(23);
+  double sum = 0, sumsq = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.03);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(29);
+  const auto picks = rng.sample_without_replacement(100, 40);
+  EXPECT_EQ(picks.size(), 40u);
+  std::set<std::uint32_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 40u);
+  for (const auto p : picks) EXPECT_LT(p, 100u);
+}
+
+TEST(Rng, SampleAllElements) {
+  Rng rng(31);
+  auto picks = rng.sample_without_replacement(16, 16);
+  std::sort(picks.begin(), picks.end());
+  for (std::uint32_t i = 0; i < 16; ++i) EXPECT_EQ(picks[i], i);
+}
+
+TEST(Rng, SampleZero) {
+  Rng rng(37);
+  EXPECT_TRUE(rng.sample_without_replacement(10, 0).empty());
+}
+
+TEST(Rng, SampleUniformity) {
+  // Each index of [0,10) should be picked ~equally often when sampling 5.
+  Rng rng(41);
+  std::vector<int> counts(10, 0);
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    for (const auto p : rng.sample_without_replacement(10, 5)) ++counts[p];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.5, 0.02);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(43);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, ForkIndependentStreams) {
+  Rng parent(47);
+  Rng child = parent.fork();
+  // The child stream must not replay the parent's outputs.
+  Rng parent2(47);
+  (void)parent2.next_u64();  // advance past the fork draw
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (child.next_u64() == parent2.next_u64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(MixSeed, SaltsChangeSeed) {
+  const auto base = mix_seed(1, 0);
+  EXPECT_NE(base, mix_seed(1, 1));
+  EXPECT_NE(mix_seed(1, 0, 1), mix_seed(1, 0, 2));
+  EXPECT_NE(mix_seed(1, 0, 0, 1), mix_seed(1, 0, 0, 2));
+  EXPECT_EQ(mix_seed(5, 6, 7, 8), mix_seed(5, 6, 7, 8));
+}
+
+}  // namespace
+}  // namespace jigsaw

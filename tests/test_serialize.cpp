@@ -1,0 +1,129 @@
+// Format serialization tests: round trips, corruption rejection, and
+// end-to-end kernel equivalence on a loaded format.
+#include "core/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/kernel.hpp"
+#include "matrix/reference.hpp"
+#include "matrix/vector_sparse.hpp"
+
+namespace jigsaw::core {
+namespace {
+
+DenseMatrix<fp16_t> sample_matrix(std::uint64_t seed = 11) {
+  VectorSparseOptions o;
+  o.rows = 96;
+  o.cols = 160;
+  o.vector_width = 4;
+  o.sparsity = 0.88;
+  o.seed = seed;
+  return VectorSparseGenerator::generate(o).values();
+}
+
+JigsawFormat sample_format(int bt = 32,
+                           MetadataLayout layout = MetadataLayout::kInterleaved) {
+  const auto a = sample_matrix();
+  ReorderOptions opts;
+  opts.tile.block_tile_m = bt;
+  return JigsawFormat::build(a, multi_granularity_reorder(a, opts), layout);
+}
+
+std::string to_blob(const JigsawFormat& f) {
+  std::ostringstream os(std::ios::binary);
+  save_format(f, os);
+  return os.str();
+}
+
+TEST(Serialize, RoundTripPreservesEverything) {
+  for (const int bt : {16, 32, 64}) {
+    const auto f = sample_format(bt);
+    std::istringstream is(to_blob(f), std::ios::binary);
+    const auto g = load_format(is);
+    EXPECT_EQ(g.rows(), f.rows());
+    EXPECT_EQ(g.cols(), f.cols());
+    EXPECT_EQ(g.tile_config().block_tile_m, bt);
+    EXPECT_EQ(g.metadata_layout(), f.metadata_layout());
+    EXPECT_EQ(g.col_idx_array(), f.col_idx_array());
+    EXPECT_EQ(g.block_col_idx_array(), f.block_col_idx_array());
+    EXPECT_EQ(g.metadata(), f.metadata());
+    ASSERT_EQ(g.values().size(), f.values().size());
+    for (std::size_t i = 0; i < f.values().size(); ++i) {
+      EXPECT_EQ(g.values()[i].bits(), f.values()[i].bits());
+    }
+  }
+}
+
+TEST(Serialize, RoundTripNaiveLayout) {
+  const auto f = sample_format(32, MetadataLayout::kNaive);
+  std::istringstream is(to_blob(f), std::ios::binary);
+  EXPECT_EQ(load_format(is).metadata_layout(), MetadataLayout::kNaive);
+}
+
+TEST(Serialize, LoadedFormatComputesIdentically) {
+  const auto a = sample_matrix();
+  const auto f = sample_format();
+  std::istringstream is(to_blob(f), std::ios::binary);
+  const auto g = load_format(is);
+  DenseMatrix<fp16_t> b(a.cols(), 24);
+  Rng rng(5);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b.data()[i] = fp16_t(rng.uniform(-1.0f, 1.0f));
+  }
+  const auto c1 = jigsaw_compute(f, b);
+  const auto c2 = jigsaw_compute(g, b);
+  EXPECT_EQ(max_abs_diff(c1, c2), 0.0);
+  EXPECT_TRUE(allclose(c2, reference_gemm(a, b), a.cols()));
+}
+
+TEST(Serialize, RejectsBadMagic) {
+  auto blob = to_blob(sample_format());
+  blob[0] = 'X';
+  std::istringstream is(blob, std::ios::binary);
+  EXPECT_THROW(load_format(is), Error);
+}
+
+TEST(Serialize, RejectsTruncation) {
+  const auto blob = to_blob(sample_format());
+  for (const double frac : {0.1, 0.5, 0.95}) {
+    std::istringstream is(
+        blob.substr(0, static_cast<std::size_t>(blob.size() * frac)),
+        std::ios::binary);
+    EXPECT_THROW(load_format(is), Error) << frac;
+  }
+}
+
+TEST(Serialize, RejectsCorruptedPermutation) {
+  auto f = sample_format();
+  auto blob = to_blob(f);
+  // Find a block_col_idx entry in the blob and set it out of range. The
+  // arrays are written in a fixed order; rather than compute offsets,
+  // corrupt bytes until the loader objects (it must never crash).
+  int rejected = 0;
+  for (std::size_t pos = 64; pos < blob.size(); pos += blob.size() / 37) {
+    auto broken = blob;
+    broken[pos] = static_cast<char>(0xff);
+    std::istringstream is(broken, std::ios::binary);
+    try {
+      (void)load_format(is);
+    } catch (const Error&) {
+      ++rejected;
+    }
+  }
+  // Not every flipped byte is structural, but several must be caught.
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const auto f = sample_format();
+  const std::string path = "/tmp/jigsaw_format_test.bin";
+  save_format_file(f, path);
+  const auto g = load_format_file(path);
+  EXPECT_EQ(g.col_idx_array(), f.col_idx_array());
+  EXPECT_THROW(load_format_file("/tmp/jigsaw_does_not_exist.bin"), Error);
+}
+
+}  // namespace
+}  // namespace jigsaw::core

@@ -1,0 +1,135 @@
+// Shared-memory bank-conflict model tests: broadcast, conflict-free,
+// stride-induced conflicts, and the padded-layout property the Jigsaw
+// kernel relies on (§3.4.1).
+#include "gpusim/smem.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <numeric>
+
+namespace jigsaw::gpusim {
+namespace {
+
+std::array<std::uint32_t, 32> lanes(std::uint32_t (*f)(int lane)) {
+  std::array<std::uint32_t, 32> a{};
+  for (int i = 0; i < 32; ++i) a[static_cast<std::size_t>(i)] = f(i);
+  return a;
+}
+
+TEST(Smem, ConsecutiveWordsConflictFree) {
+  const auto addr = lanes([](int l) { return static_cast<std::uint32_t>(4 * l); });
+  const auto r = simulate_warp_access(addr, 4, a100());
+  EXPECT_EQ(r.transactions, 1);
+  EXPECT_EQ(r.conflicts, 0);
+}
+
+TEST(Smem, BroadcastSameWordIsOneTransaction) {
+  const auto addr = lanes([](int) { return 64u; });
+  const auto r = simulate_warp_access(addr, 4, a100());
+  EXPECT_EQ(r.transactions, 1);
+  EXPECT_EQ(r.conflicts, 0);
+}
+
+TEST(Smem, Stride32WordsIsFullConflict) {
+  // Each lane hits the same bank with a distinct word: 32-way conflict.
+  const auto addr =
+      lanes([](int l) { return static_cast<std::uint32_t>(l * 32 * 4); });
+  const auto r = simulate_warp_access(addr, 4, a100());
+  EXPECT_EQ(r.transactions, 32);
+  EXPECT_EQ(r.conflicts, 31);
+}
+
+TEST(Smem, StrideTwoWordsIsTwoWayConflict) {
+  const auto addr =
+      lanes([](int l) { return static_cast<std::uint32_t>(l * 2 * 4); });
+  const auto r = simulate_warp_access(addr, 4, a100());
+  EXPECT_EQ(r.transactions, 2);
+  EXPECT_EQ(r.conflicts, 1);
+}
+
+TEST(Smem, WideAccessSplitsIntoPhases) {
+  // 16-byte accesses run as four 4-byte phases; consecutive 16B segments
+  // are conflict-free, so four transactions total.
+  const auto addr =
+      lanes([](int l) { return static_cast<std::uint32_t>(16 * l); });
+  const auto r = simulate_warp_access(addr, 16, a100());
+  EXPECT_EQ(r.transactions, 4);
+  EXPECT_EQ(r.conflicts, 0);
+}
+
+TEST(Smem, UnpaddedRowMajorTileRowsCollide) {
+  // A 64-half (128-byte) row stride maps every row start to bank 0: eight
+  // rows accessed together replay eight times — the v0 kernel's failure.
+  std::array<std::uint32_t, 8> rows{};
+  for (int r = 0; r < 8; ++r) {
+    rows[static_cast<std::size_t>(r)] =
+        padded_row_offset_bytes(static_cast<std::uint32_t>(r), 0, 64, 0);
+  }
+  // Simulate one ldmatrix stage: 8 rows x 4 words.
+  std::array<std::uint32_t, 32> addr{};
+  for (int r = 0; r < 8; ++r) {
+    for (int j = 0; j < 4; ++j) {
+      addr[static_cast<std::size_t>(4 * r + j)] =
+          rows[static_cast<std::size_t>(r)] + static_cast<std::uint32_t>(4 * j);
+    }
+  }
+  const auto res = simulate_warp_access(addr, 4, a100());
+  EXPECT_EQ(res.transactions, 8);
+  EXPECT_EQ(res.conflicts, 7);
+}
+
+TEST(Smem, PaddedRowMajorTileRowsConflictFree) {
+  // With 8 halfs (4 banks) of padding the eight consecutive rows cover all
+  // 32 banks: a single transaction per phase.
+  std::array<std::uint32_t, 32> addr{};
+  for (int r = 0; r < 8; ++r) {
+    const std::uint32_t base =
+        padded_row_offset_bytes(static_cast<std::uint32_t>(r), 0, 64, 8);
+    for (int j = 0; j < 4; ++j) {
+      addr[static_cast<std::size_t>(4 * r + j)] =
+          base + static_cast<std::uint32_t>(4 * j);
+    }
+  }
+  const auto res = simulate_warp_access(addr, 4, a100());
+  EXPECT_EQ(res.transactions, 1);
+  EXPECT_EQ(res.conflicts, 0);
+}
+
+TEST(Smem, PaddedLayoutRowsCongruentMod8Collide) {
+  // Rows r and r+8 start at banks differing by 36*8 = 288 words = 0 mod 32:
+  // same banks. This is exactly the conflict §3.4.1 avoids by preferring
+  // permutations with distinct residues.
+  std::array<std::uint32_t, 32> addr{};
+  const int rows[8] = {0, 8, 1, 2, 3, 4, 5, 6};  // 0 and 8 collide
+  for (int i = 0; i < 8; ++i) {
+    const std::uint32_t base = padded_row_offset_bytes(
+        static_cast<std::uint32_t>(rows[i]), 0, 64, 8);
+    for (int j = 0; j < 4; ++j) {
+      addr[static_cast<std::size_t>(4 * i + j)] =
+          base + static_cast<std::uint32_t>(4 * j);
+    }
+  }
+  const auto res = simulate_warp_access(addr, 4, a100());
+  EXPECT_EQ(res.transactions, 2);
+  EXPECT_EQ(res.conflicts, 1);
+}
+
+TEST(SmemTracker, AccumulatesLoadsAndStores) {
+  SmemTracker t(a100());
+  const auto conflict_free =
+      lanes([](int l) { return static_cast<std::uint32_t>(4 * l); });
+  const auto conflicting =
+      lanes([](int l) { return static_cast<std::uint32_t>(l * 2 * 4); });
+  t.load(conflict_free, 4);
+  t.load(conflicting, 4);
+  t.store(conflict_free, 4);
+  EXPECT_EQ(t.load_transactions(), 3u);  // 1 + 2
+  EXPECT_EQ(t.store_transactions(), 1u);
+  EXPECT_EQ(t.conflicts(), 1u);
+  t.load_ideal(4);
+  EXPECT_EQ(t.load_transactions(), 7u);
+}
+
+}  // namespace
+}  // namespace jigsaw::gpusim

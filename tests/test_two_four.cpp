@@ -1,0 +1,117 @@
+// 2:4 pattern checker tests, including the statistical behaviour that
+// drives Figure 1 of the paper.
+#include "matrix/two_four.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matrix/vector_sparse.hpp"
+
+namespace jigsaw {
+namespace {
+
+DenseMatrix<fp16_t> from_pattern(std::initializer_list<std::initializer_list<int>> rows) {
+  const std::size_t r = rows.size();
+  const std::size_t c = rows.begin()->size();
+  DenseMatrix<fp16_t> m(r, c);
+  std::size_t i = 0;
+  for (const auto& row : rows) {
+    std::size_t j = 0;
+    for (const int v : row) {
+      if (v) m(i, j) = fp16_t(1.0f);
+      ++j;
+    }
+    ++i;
+  }
+  return m;
+}
+
+TEST(TwoFour, CompliantMatrix) {
+  const auto m = from_pattern({
+      {1, 1, 0, 0, 0, 0, 1, 1},
+      {0, 1, 1, 0, 1, 0, 1, 0},
+      {0, 0, 0, 0, 1, 1, 0, 0},
+  });
+  const auto stats = analyze_two_four(m);
+  EXPECT_TRUE(stats.compliant());
+  EXPECT_EQ(stats.groups_total, 6u);
+  EXPECT_EQ(stats.groups_violating, 0u);
+  EXPECT_DOUBLE_EQ(stats.compliance_ratio(), 1.0);
+  EXPECT_TRUE(satisfies_two_four(m));
+}
+
+TEST(TwoFour, ViolatingGroupDetected) {
+  const auto m = from_pattern({
+      {1, 1, 1, 0, 0, 0, 0, 0},  // 3 nonzeros in the first group
+      {0, 0, 0, 0, 1, 1, 1, 1},  // 4 nonzeros in the second group
+  });
+  const auto stats = analyze_two_four(m);
+  EXPECT_FALSE(stats.compliant());
+  EXPECT_EQ(stats.groups_violating, 2u);
+  EXPECT_EQ(stats.groups_total, 4u);
+  EXPECT_DOUBLE_EQ(stats.compliance_ratio(), 0.5);
+}
+
+TEST(TwoFour, GroupBoundariesAreAligned) {
+  // Columns 2,3,4 hold nonzeros: they straddle two groups, two per group
+  // at most, so the matrix complies even though three consecutive columns
+  // are dense.
+  const auto m = from_pattern({{0, 0, 1, 1, 1, 0, 0, 0}});
+  EXPECT_TRUE(satisfies_two_four(m));
+}
+
+TEST(TwoFour, RaggedTailGroup) {
+  // 6 columns: the final group has only two columns and both are set —
+  // still <= 2 nonzeros, compliant.
+  const auto ok = from_pattern({{1, 1, 0, 0, 1, 1}});
+  EXPECT_TRUE(satisfies_two_four(ok));
+  const auto stats = analyze_two_four(ok);
+  EXPECT_EQ(stats.groups_total, 2u);
+}
+
+TEST(TwoFour, ZeroMatrixCompliant) {
+  DenseMatrix<fp16_t> zeros(16, 16);
+  EXPECT_TRUE(satisfies_two_four(zeros));
+}
+
+TEST(TwoFour, GroupOkHelper) {
+  EXPECT_TRUE(group_ok(0));
+  EXPECT_TRUE(group_ok(1));
+  EXPECT_TRUE(group_ok(2));
+  EXPECT_FALSE(group_ok(3));
+  EXPECT_FALSE(group_ok(4));
+}
+
+// Figure 1's premise: even at high sparsity, random vector-sparse matrices
+// rarely satisfy 2:4 natively, and compliance falls with matrix size.
+TEST(TwoFour, RandomVectorSparseRarelyCompliantAt80) {
+  VectorSparseOptions o;
+  o.rows = 256;
+  o.cols = 256;
+  o.vector_width = 4;
+  o.sparsity = 0.80;
+  o.seed = 3;
+  const auto m = VectorSparseGenerator::generate(o);
+  EXPECT_FALSE(satisfies_two_four(m.values()));
+  // But most groups individually comply.
+  EXPECT_GT(analyze_two_four(m.values()).compliance_ratio(), 0.8);
+}
+
+TEST(TwoFour, ComplianceRatioRisesWithSparsity) {
+  double previous = 0.0;
+  for (const double s : {0.80, 0.90, 0.95, 0.98}) {
+    VectorSparseOptions o;
+    o.rows = 256;
+    o.cols = 256;
+    o.vector_width = 4;
+    o.sparsity = s;
+    o.seed = 7;
+    const auto ratio =
+        analyze_two_four(VectorSparseGenerator::generate(o).values())
+            .compliance_ratio();
+    EXPECT_GT(ratio, previous) << "sparsity " << s;
+    previous = ratio;
+  }
+}
+
+}  // namespace
+}  // namespace jigsaw

@@ -1,0 +1,186 @@
+// Vector-sparse generator tests: mask/value invariants, sparsity targets,
+// determinism, and contract violations.
+#include "matrix/vector_sparse.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace jigsaw {
+namespace {
+
+VectorSparseOptions base_options() {
+  VectorSparseOptions o;
+  o.rows = 128;
+  o.cols = 256;
+  o.vector_width = 4;
+  o.sparsity = 0.9;
+  o.seed = 99;
+  return o;
+}
+
+TEST(VectorSparse, ShapeAndWidth) {
+  const auto m = VectorSparseGenerator::generate(base_options());
+  EXPECT_EQ(m.rows(), 128u);
+  EXPECT_EQ(m.cols(), 256u);
+  EXPECT_EQ(m.vector_width(), 4u);
+  EXPECT_EQ(m.vector_rows(), 32u);
+}
+
+TEST(VectorSparse, ExactSparsity) {
+  const auto m = VectorSparseGenerator::generate(base_options());
+  // exact_nnz keeps exactly round(0.1 * 32 * 256) vectors.
+  EXPECT_EQ(m.nnz_vectors(), 819u);  // round(0.1 * 8192)
+  EXPECT_NEAR(m.sparsity(), 0.9, 1e-3);
+}
+
+TEST(VectorSparse, MaskMatchesValues) {
+  const auto m = VectorSparseGenerator::generate(base_options());
+  for (std::size_t vr = 0; vr < m.vector_rows(); ++vr) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      const bool set = m.mask()(vr, c) != 0;
+      for (std::size_t dr = 0; dr < m.vector_width(); ++dr) {
+        const bool nz = !m.values()(vr * m.vector_width() + dr, c).is_zero();
+        EXPECT_EQ(nz, set) << "vector (" << vr << "," << c << ") row " << dr;
+      }
+    }
+  }
+}
+
+TEST(VectorSparse, VectorSetAccessor) {
+  const auto m = VectorSparseGenerator::generate(base_options());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); c += 17) {
+      EXPECT_EQ(m.vector_set(r, c), m.mask()(r / 4, c) != 0);
+    }
+  }
+}
+
+TEST(VectorSparse, Deterministic) {
+  const auto a = VectorSparseGenerator::generate(base_options());
+  const auto b = VectorSparseGenerator::generate(base_options());
+  EXPECT_EQ(a.values(), b.values());
+  EXPECT_EQ(a.mask(), b.mask());
+}
+
+TEST(VectorSparse, SeedChangesPattern) {
+  auto opts = base_options();
+  const auto a = VectorSparseGenerator::generate(opts);
+  opts.seed += 1;
+  const auto b = VectorSparseGenerator::generate(opts);
+  EXPECT_FALSE(a.mask() == b.mask());
+}
+
+TEST(VectorSparse, BernoulliModeApproximatesSparsity) {
+  auto opts = base_options();
+  opts.exact_nnz = false;
+  opts.rows = 512;
+  opts.cols = 512;
+  const auto m = VectorSparseGenerator::generate(opts);
+  EXPECT_NEAR(m.sparsity(), 0.9, 0.02);
+}
+
+TEST(VectorSparse, WidthOne) {
+  auto opts = base_options();
+  opts.vector_width = 1;
+  opts.rows = 33;  // any row count works for v=1
+  const auto m = VectorSparseGenerator::generate(opts);
+  EXPECT_EQ(m.vector_rows(), 33u);
+  EXPECT_NEAR(m.sparsity(), 0.9, 1e-2);
+}
+
+TEST(VectorSparse, FullySparseAndFullyDense) {
+  auto opts = base_options();
+  opts.sparsity = 1.0;
+  EXPECT_EQ(VectorSparseGenerator::generate(opts).nnz_vectors(), 0u);
+  opts.sparsity = 0.0;
+  const auto dense = VectorSparseGenerator::generate(opts);
+  EXPECT_EQ(dense.nnz_vectors(), dense.vector_rows() * dense.cols());
+}
+
+TEST(VectorSparse, NonzeroValuesSurviveQuantization) {
+  // The generator guarantees no accidental structural zeros inside kept
+  // vectors, even after fp16 quantization.
+  auto opts = base_options();
+  opts.value_lo = -0.01f;  // tight range stresses the guard
+  opts.value_hi = 0.01f;
+  const auto m = VectorSparseGenerator::generate(opts);
+  EXPECT_EQ(m.nnz(), m.nnz_vectors() * m.vector_width());
+}
+
+TEST(VectorSparse, MagnitudePruningHitsTarget) {
+  auto opts = base_options();
+  opts.method = PruningMethod::kMagnitude;
+  opts.rows = 256;
+  opts.cols = 512;
+  const auto m = VectorSparseGenerator::generate(opts);
+  EXPECT_NEAR(m.sparsity(), 0.9, 1e-3);  // exact global fraction
+  // Column correlation: magnitude pruning produces far more all-zero
+  // columns than random pruning at the same sparsity.
+  auto random = base_options();
+  random.rows = 256;
+  random.cols = 512;
+  const auto r = VectorSparseGenerator::generate(random);
+  const auto zero_cols = [](const VectorSparseMatrix& a) {
+    std::size_t z = 0;
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      bool any = false;
+      for (std::size_t vr = 0; vr < a.vector_rows(); ++vr) {
+        any |= a.mask()(vr, c) != 0;
+      }
+      z += !any;
+    }
+    return z;
+  };
+  EXPECT_GT(zero_cols(m), zero_cols(r) + 10);
+}
+
+TEST(VectorSparse, VariationalPruningApproximatesTarget) {
+  auto opts = base_options();
+  opts.method = PruningMethod::kVariational;
+  opts.rows = 512;
+  opts.cols = 512;
+  const auto m = VectorSparseGenerator::generate(opts);
+  // The logit-normal column probabilities average near the target but are
+  // not exact; allow a generous band.
+  EXPECT_NEAR(m.sparsity(), 0.9, 0.08);
+  // Column keep-rates must actually vary (that is the point).
+  std::size_t dense_ish = 0, empty = 0;
+  for (std::size_t c = 0; c < m.cols(); ++c) {
+    std::size_t kept = 0;
+    for (std::size_t vr = 0; vr < m.vector_rows(); ++vr) {
+      kept += m.mask()(vr, c);
+    }
+    dense_ish += kept > m.vector_rows() / 2;
+    empty += kept == 0;
+  }
+  EXPECT_GT(dense_ish, 0u);
+  EXPECT_GT(empty, 0u);
+}
+
+TEST(VectorSparse, MethodsAreDeterministicAndNamed) {
+  for (const auto method : {PruningMethod::kRandom, PruningMethod::kMagnitude,
+                            PruningMethod::kVariational}) {
+    auto opts = base_options();
+    opts.method = method;
+    const auto a = VectorSparseGenerator::generate(opts);
+    const auto b = VectorSparseGenerator::generate(opts);
+    EXPECT_EQ(a.mask(), b.mask()) << to_string(method);
+  }
+  EXPECT_STREQ(to_string(PruningMethod::kMagnitude), "magnitude");
+}
+
+TEST(VectorSparse, RejectsMisalignedRows) {
+  auto opts = base_options();
+  opts.rows = 130;  // not a multiple of v=4
+  EXPECT_THROW(VectorSparseGenerator::generate(opts), Error);
+}
+
+TEST(VectorSparse, RejectsZeroWidth) {
+  auto opts = base_options();
+  opts.vector_width = 0;
+  EXPECT_THROW(VectorSparseGenerator::generate(opts), Error);
+}
+
+}  // namespace
+}  // namespace jigsaw

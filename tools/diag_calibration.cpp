@@ -1,0 +1,65 @@
+// Internal calibration probe: prints duration breakdowns of every kernel
+// on representative configurations, used to tune the latency-model
+// constants against the paper's Table 2 / Figure 12 magnitudes.
+#include <iostream>
+
+#include "baselines/jigsaw_adapter.hpp"
+#include "baselines/spmm_kernel.hpp"
+#include "core/kernel.hpp"
+#include "dlmc/suite.hpp"
+
+using namespace jigsaw;
+
+namespace {
+void show(const std::string& tag, const gpusim::KernelReport& r) {
+  const auto& b = r.breakdown;
+  std::cout << tag << ": dur=" << r.duration_cycles << " [" << r.name
+            << "] limiter=" << b.limiter_name() << " tc=" << b.tensor_core
+            << " cuda=" << b.cuda_core << " smem=" << b.shared_memory
+            << " issue=" << b.issue << " dram=" << b.dram << " l2=" << b.l2
+            << " stalls=" << b.stalls << " barriers=" << b.barriers
+            << " blocks=" << r.launch.blocks
+            << " warps/sm=" << r.occupancy.warps_per_sm << "\n";
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double s = argc > 1 ? std::atof(argv[1]) : 0.95;
+  const std::size_t v = argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 8;
+  gpusim::CostModel cm;
+  const baselines::SpmmRunOptions cost_only{.compute_values = false};
+  for (const dlmc::Shape shape : {dlmc::Shape{512, 512}, dlmc::Shape{2048, 512}, dlmc::Shape{512, 2048}}) {
+    for (const std::size_t n : {256u, 512u}) {
+      std::cout << "== " << shape.label() << " N=" << n << " s=" << s
+                << " v=" << v << "\n";
+      const auto a = dlmc::make_lhs(shape, s, v);
+      const auto b = dlmc::make_rhs(shape.k, n);
+      auto kernels = baselines::make_baselines();
+      kernels.push_back(std::make_unique<baselines::JigsawSpmmKernel>());
+      double dense = 0;
+      for (const auto& k : kernels) {
+        const auto r = k->run(a, b, cm, cost_only);
+        if (k->name() == "cuBLAS") dense = r.report.duration_cycles;
+        show(k->name(), r.report);
+      }
+      std::cout << "  speedups vs cuBLAS:";
+      for (const auto& k : kernels) {
+        const auto r = k->run(a, b, cm, cost_only);
+        std::cout << " " << k->name() << "=" << dense / r.report.duration_cycles;
+      }
+      std::cout << "\n";
+      // ablation versions
+      for (const auto ver : {core::KernelVersion::kV0, core::KernelVersion::kV1,
+                             core::KernelVersion::kV2, core::KernelVersion::kV3}) {
+        core::JigsawPlanOptions po;
+        po.version = ver;
+        po.block_tile = 64;
+        const auto plan = core::jigsaw_plan(a.values(), po);
+        const auto r = core::jigsaw_run(plan, b, cm, {.compute_values = false});
+        show(std::string("jigsaw_") + core::to_string(ver), r.report);
+        std::cout << "    speedup=" << dense / r.report.duration_cycles << "\n";
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Thin entry point of the `jigsaw` command-line tool; all logic lives in
+// src/cli so tests can drive the full command surface in-process.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> tokens(argv + 1, argv + argc);
+  return jigsaw::cli::cli_main(tokens, std::cout, std::cerr);
+}

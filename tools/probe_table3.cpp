@@ -1,0 +1,30 @@
+#include <iostream>
+#include "baselines/cusparselt.hpp"
+#include "baselines/venom.hpp"
+#include "core/kernel.hpp"
+#include "dlmc/suite.hpp"
+using namespace jigsaw;
+int main() {
+  gpusim::CostModel cm;
+  for (double s : {0.80, 0.98}) {
+    for (std::size_t V : {32ul}) {
+      auto cfg = baselines::VenomConfig::for_sparsity(V, s);
+      for (auto shape : {dlmc::Shape{512,512}, dlmc::Shape{2048,512}, dlmc::Shape{512,64}}) {
+        auto a = baselines::venom_prune(core::round_up(shape.m, V), shape.k, cfg, 1);
+        auto plan = core::jigsaw_plan(a.values(), {});
+        for (std::size_t n : {256ul}) {
+          auto b = dlmc::make_rhs(shape.k, n);
+          auto jig = core::jigsaw_run(plan, b, cm, {.compute_values=false});
+          auto ven = baselines::VenomKernel::cost(a, n, cfg, cm);
+          auto cus = baselines::CuSparseLtKernel::cost(a.rows(), n, shape.k, cm);
+          std::cout << "s=" << s << " V=" << V << " " << shape.label() << " N=" << n
+                    << " jig=" << jig.report.duration_cycles << "(" << jig.report.name << "," << jig.report.breakdown.limiter_name() << ")"
+                    << " venom=" << ven.duration_cycles << "(" << ven.breakdown.limiter_name() << ")"
+                    << " cusp=" << cus.duration_cycles << "(" << cus.breakdown.limiter_name() << "," << cus.launch.blocks << "blk)"
+                    << " j/v=" << ven.duration_cycles/jig.report.duration_cycles
+                    << " j/c=" << cus.duration_cycles/jig.report.duration_cycles << "\n";
+        }
+      }
+    }
+  }
+}

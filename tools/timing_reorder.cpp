@@ -1,0 +1,20 @@
+#include <chrono>
+#include <iostream>
+#include "core/reorder.hpp"
+#include "dlmc/suite.hpp"
+using namespace jigsaw;
+int main() {
+  for (double s : {0.8, 0.9, 0.95}) {
+    for (std::size_t v : {2ul, 8ul}) {
+      for (int bt : {16, 64}) {
+        auto a = dlmc::make_lhs({2048, 512}, s, v);
+        core::ReorderOptions o; o.tile.block_tile_m = bt;
+        auto t0 = std::chrono::steady_clock::now();
+        auto r = core::multi_granularity_reorder(a.values(), o);
+        double ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now()-t0).count();
+        std::cout << "s=" << s << " v=" << v << " bt=" << bt << " " << ms << " ms  success=" << r.success()
+                  << " evict=" << r.total_evictions() << " identity=" << r.identity_fraction() << "\n";
+      }
+    }
+  }
+}
