@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Builds the tree with ASan/UBSan (the JIGSAW_SANITIZE CMake option) in a
+# separate build directory, runs the full test suite, and finishes with a
+# longer fuzzer campaign than the ctest-registered short run. Memory and
+# UB bugs in the untrusted-input paths (serialization, validation) are
+# exactly what the checked tier exists to contain, so they get hunted
+# under sanitizers here.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-sanitized
+
+cmake -B "$BUILD_DIR" -S . -DJIGSAW_SANITIZE=ON
+cmake --build "$BUILD_DIR" -j
+
+export ASAN_OPTIONS=detect_leaks=0
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+"$BUILD_DIR"/tools/fuzz_format --iters 5000 --seed 1
+"$BUILD_DIR"/tools/fuzz_format --iters 5000 --seed 2
+
+echo "run_sanitized: all clean"

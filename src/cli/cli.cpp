@@ -7,6 +7,7 @@
 #include "baselines/jigsaw_adapter.hpp"
 #include "baselines/spmm_kernel.hpp"
 #include "common/error.hpp"
+#include "core/checked.hpp"
 #include "core/hybrid.hpp"
 #include "core/kernel.hpp"
 #include "core/serialize.hpp"
@@ -35,9 +36,15 @@ commands:
 
   run <a.mtx|a.jsf> [--n 256] [--kernel jigsaw|hybrid|cublas|clasp|
       magicube|sputnik|sparta] [--verify] [--seed 1]
-      [--device a100|a100-80g|h100]
+      [--device a100|a100-80g|h100] [--checked]
       Simulate one SpMM kernel on the selected device model and print
-      its report.
+      its report. --checked (jigsaw kernel only) routes through the
+      non-throwing checked tier: the format is deep-validated first and
+      panels whose reorder fails degrade to the hybrid dense/CUDA pipes.
+
+  validate <a.jsf>
+      Verify a saved format without executing it: v2 checksums plus the
+      deep structural validator. Exits 0 (OK) or 1 (rejected).
 
   bench <a.mtx> [--n 256] [--seed 1]
       Run every kernel on the same problem and print the comparison.
@@ -158,7 +165,8 @@ int cmd_plan(const Args& args, std::ostream& out) {
 }
 
 int cmd_run(const Args& args, std::ostream& out) {
-  fail_on_unknown_flags(args, {"n", "kernel", "verify", "seed", "device"});
+  fail_on_unknown_flags(
+      args, {"n", "kernel", "verify", "seed", "device", "checked"});
   JIGSAW_CHECK_MSG(args.positional().size() == 2,
                    "run needs one input file\n" << kUsage);
   const std::string input = args.positional()[1];
@@ -166,6 +174,9 @@ int cmd_run(const Args& args, std::ostream& out) {
   const std::uint64_t seed = args.value_size("seed", 1);
   const std::string kernel = args.value("kernel", "jigsaw");
   const bool verify = args.has_flag("verify");
+  const bool checked = args.has_flag("checked");
+  JIGSAW_CHECK_MSG(!checked || kernel == "jigsaw",
+                   "--checked applies to the jigsaw kernel only");
   gpusim::CostModel cm(gpusim::arch_by_name(args.value("device", "a100")));
 
   // A .jsf plan runs the Jigsaw kernel straight from the saved format.
@@ -174,7 +185,17 @@ int cmd_run(const Args& args, std::ostream& out) {
                      "a saved plan can only run the jigsaw kernel");
     JIGSAW_CHECK_MSG(!verify,
                      "--verify needs the original matrix; run the .mtx file");
-    const auto format = core::load_format_file(input);
+    core::JigsawFormat format;
+    if (checked) {
+      auto loaded = core::load_format_file_checked(input);
+      if (!loaded.ok()) {
+        out << "format rejected: " << loaded.status().to_string() << "\n";
+        return 1;
+      }
+      format = std::move(loaded).take();
+    } else {
+      format = core::load_format_file(input);
+    }
     const auto b = random_rhs(format.cols(), n, seed);
     const auto report =
         core::jigsaw_cost(format, n, core::KernelVersion::kV4, cm);
@@ -187,7 +208,23 @@ int cmd_run(const Args& args, std::ostream& out) {
 
   std::optional<DenseMatrix<float>> c;
   gpusim::KernelReport report;
-  if (kernel == "hybrid") {
+  if (checked) {
+    auto run = core::run_spmm_checked(dense, b, cm);
+    if (!run.ok()) {
+      out << "checked run rejected: " << run.status().to_string() << "\n";
+      return 1;
+    }
+    auto& result = run.value();
+    const auto& deg = result.degradation;
+    out << "checked:           " << deg.panels_degraded << "/"
+        << deg.panels_total << " panels degraded ("
+        << deg.fallback_dense_columns << " columns -> dense TC, "
+        << deg.fallback_cuda_columns << " -> CUDA cores), "
+        << deg.reorder_evictions << " reorder evictions\n";
+    for (const auto& line : deg.notes) out << "  " << line << "\n";
+    c = std::move(result.c);
+    report = std::move(result.report);
+  } else if (kernel == "hybrid") {
     const auto plan = core::hybrid_plan(dense, {});
     auto run = core::hybrid_run(plan, dense, b, cm, {.compute_values = verify});
     c = std::move(run.c);
@@ -231,6 +268,24 @@ int cmd_run(const Args& args, std::ostream& out) {
         << (ok ? "OK" : "FAILED") << "\n";
     return ok ? 0 : 1;
   }
+  return 0;
+}
+
+int cmd_validate(const Args& args, std::ostream& out) {
+  fail_on_unknown_flags(args, {});
+  JIGSAW_CHECK_MSG(args.positional().size() == 2,
+                   "validate needs one .jsf file\n" << kUsage);
+  const std::string path = args.positional()[1];
+  auto loaded = core::load_format_file_checked(path);
+  if (!loaded.ok()) {
+    out << path << ": REJECTED (" << loaded.status().to_string() << ")\n";
+    return 1;
+  }
+  const auto format = std::move(loaded).take();
+  out << path << ": OK — " << format.rows() << " x " << format.cols()
+      << ", BLOCK_TILE " << format.tile_config().block_tile_m << ", "
+      << format.panels().size() << " panels, "
+      << format.memory_footprint().total() << " bytes\n";
   return 0;
 }
 
@@ -351,6 +406,7 @@ int cli_main(const std::vector<std::string>& args, std::ostream& out,
     if (command == "info") return cmd_info(parsed, out);
     if (command == "plan") return cmd_plan(parsed, out);
     if (command == "run") return cmd_run(parsed, out);
+    if (command == "validate") return cmd_validate(parsed, out);
     if (command == "bench") return cmd_bench(parsed, out);
     if (command == "help" || command == "--help") {
       out << kUsage;

@@ -1,0 +1,22 @@
+// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) used by the v2
+// serialized format to detect payload corruption. Table-driven, one byte
+// per step — the blobs are preprocessing artifacts, so simplicity beats
+// slice-by-8 throughput here.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace jigsaw {
+
+/// Incrementally extends a CRC32: pass the previous return value as
+/// `crc` to checksum discontiguous sections as one stream.
+std::uint32_t crc32_update(std::uint32_t crc, const void* data,
+                           std::size_t size);
+
+/// One-shot CRC32 of a buffer.
+inline std::uint32_t crc32(const void* data, std::size_t size) {
+  return crc32_update(0, data, size);
+}
+
+}  // namespace jigsaw

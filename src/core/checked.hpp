@@ -1,0 +1,76 @@
+// Checked SpMM execution: the degrade-don't-die tier.
+//
+// The plain entry points (jigsaw_plan / jigsaw_run / jigsaw_compute)
+// assume trusted, well-behaved input and throw jigsaw::Error on anything
+// else. A serving system cannot: a weight matrix whose panel exhausts the
+// §3.2 reorder-retry is not a caller bug, it is a workload property. This
+// module wraps the pipeline in the Status/Result tier:
+//
+//   * run_spmm_checked(a, b, ...) reorders A, and any panel that failed
+//     even after reorder-retry (tail splitting, or a layout grown past the
+//     original K) is pulled out of the SpTC path entirely and routed
+//     through the existing hybrid dense-TC / CUDA-core machinery
+//     (core/hybrid.cpp) — the answer stays exact, the panel just runs on
+//     a different pipe;
+//   * run_spmm_checked(format, b, ...) deep-validates an untrusted format
+//     (e.g. one loaded from disk) before letting the kernel near it;
+//   * every absorbed failure is counted in a DegradationReport so the
+//     caller can observe what the tier swallowed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "core/hybrid.hpp"
+
+namespace jigsaw::core {
+
+/// Counters of everything the checked tier absorbed instead of throwing.
+struct DegradationReport {
+  std::size_t panels_total = 0;
+  std::size_t panels_degraded = 0;  ///< reorder failed; ran on hybrid pipes
+  std::size_t fallback_dense_columns = 0;  ///< degraded columns on dense TC
+  std::size_t fallback_cuda_columns = 0;   ///< degraded columns on CUDA cores
+  std::uint64_t reorder_evictions = 0;     ///< §3.2 retry moves (absorbed work)
+  std::size_t validation_failures = 0;     ///< formats validate() rejected
+  std::vector<std::string> notes;          ///< one line per recorded event
+
+  bool degraded() const { return panels_degraded > 0; }
+  void note(std::string message) { notes.push_back(std::move(message)); }
+};
+
+struct CheckedRunOptions {
+  TileConfig tile{};          ///< BLOCK_TILE of the attempted SpTC path
+  ReorderOptions reorder{};   ///< knobs of the first-chance reorder
+  /// Degraded columns thinner than this (panel nonzeros) fall back to the
+  /// CUDA cores; the rest go to the dense tensor core.
+  std::uint32_t cuda_fallback_max_nnz = 2;
+  JigsawTuning tuning{};
+};
+
+struct CheckedRunResult {
+  DenseMatrix<float> c;            ///< exact product, whatever the route
+  gpusim::KernelReport report;     ///< simulated cost of the chosen route
+  DegradationReport degradation;
+};
+
+/// End-to-end checked SpMM: reorder A (degrading failed panels through
+/// the hybrid dense/CUDA routing), validate the built format, execute.
+/// Never throws for workload-shaped failures; returns kInvalidArgument
+/// for shape mismatches and kInternal should a built format fail its own
+/// validation.
+Result<CheckedRunResult> run_spmm_checked(const DenseMatrix<fp16_t>& a,
+                                          const DenseMatrix<fp16_t>& b,
+                                          const gpusim::CostModel& cost_model,
+                                          const CheckedRunOptions& options = {});
+
+/// Format-level checked execution for untrusted formats (e.g. loaded from
+/// disk): deep-validates up front, then runs the functional kernel. A
+/// validation failure is returned as its Status and counted in `report`
+/// when one is supplied.
+Result<DenseMatrix<float>> run_spmm_checked(
+    const JigsawFormat& format, const DenseMatrix<fp16_t>& b,
+    DegradationReport* report = nullptr);
+
+}  // namespace jigsaw::core

@@ -20,8 +20,13 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.hpp"
 #include "core/reorder.hpp"
 #include "sptc/metadata.hpp"
+
+namespace jigsaw::testing {
+class FormatSurgeon;  // test-only fault injection (src/testing)
+}
 
 namespace jigsaw::core {
 
@@ -32,6 +37,7 @@ enum class MetadataLayout : std::uint8_t {
 };
 
 class JigsawFormat;
+class serialize_detail;
 void save_format(const JigsawFormat& format, std::ostream& os);
 JigsawFormat load_format(std::istream& is);
 
@@ -103,6 +109,17 @@ class JigsawFormat {
   };
   Footprint memory_footprint() const;
 
+  /// Deep cross-array invariant check, the gate of the checked execution
+  /// tier (docs/ROBUSTNESS.md). Verifies everything an accessor or the
+  /// kernel would otherwise trust: header/shape consistency, contiguous
+  /// panel offsets, tile coverage, col_idx_array bounds and per-panel
+  /// uniqueness, per-(slice, tile) block_col_idx bijectivity over 0..15,
+  /// payload/metadata array sizes implied by the headers, and 2-bit sptc
+  /// metadata words whose per-group indices are strictly increasing (the
+  /// ≤2-per-4-group hardware encoding), de-interleaving the §3.4.3 layout
+  /// first. Returns kInvalidFormat (with detail) on the first violation.
+  Status validate() const;
+
   /// The paper's §4.6 closed-form estimate, 5MK/8 + 4MK/BLOCK_TILE +
   /// 4MK/MMA_TILE bytes, returned alongside the dense baseline (2MK) so
   /// callers can reproduce the quoted 56.25% / 50% / 46.87% ratios. Note
@@ -121,6 +138,8 @@ class JigsawFormat {
  private:
   friend void save_format(const JigsawFormat& format, std::ostream& os);
   friend JigsawFormat load_format(std::istream& is);
+  friend class serialize_detail;            // v1/v2 codec (serialize.cpp)
+  friend class ::jigsaw::testing::FormatSurgeon;  // fault injection
 
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;

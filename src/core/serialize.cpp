@@ -3,8 +3,12 @@
 #include <cstring>
 #include <fstream>
 #include <istream>
+#include <limits>
+#include <optional>
 #include <ostream>
+#include <sstream>
 
+#include "common/checksum.hpp"
 #include "common/error.hpp"
 
 namespace jigsaw::core {
@@ -12,130 +16,244 @@ namespace jigsaw::core {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x4a494753;  // "JIGS"
-constexpr std::uint32_t kVersion = 1;
+
+// Sanity bound: no serialized array may exceed 1G elements. The per-read
+// bound below additionally caps allocations by the bytes actually left in
+// the stream, so a hostile 8-byte header cannot force a huge allocation.
+constexpr std::uint64_t kMaxElements = 1ull << 30;
 
 template <typename T>
 void write_pod(std::ostream& os, const T& v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof(T));
 }
 
-template <typename T>
-T read_pod(std::istream& is) {
-  T v{};
-  is.read(reinterpret_cast<char*>(&v), sizeof(T));
-  JIGSAW_CHECK_MSG(is.good(), "truncated format stream");
-  return v;
+/// Bytes between the current read position and the end of the stream, or
+/// nullopt for non-seekable streams.
+std::optional<std::uint64_t> stream_remaining(std::istream& is) {
+  const auto pos = is.tellg();
+  if (pos == std::istream::pos_type(-1)) return std::nullopt;
+  is.seekg(0, std::ios::end);
+  const auto end = is.tellg();
+  is.seekg(pos);
+  if (end == std::istream::pos_type(-1) || end < pos) return std::nullopt;
+  return static_cast<std::uint64_t>(end - pos);
 }
 
-template <typename T>
-void write_vector(std::ostream& os, const std::vector<T>& v) {
-  write_pod<std::uint64_t>(os, v.size());
-  if (!v.empty()) {
-    os.write(reinterpret_cast<const char*>(v.data()),
-             static_cast<std::streamsize>(v.size() * sizeof(T)));
+/// Non-throwing stream reader that tracks the remaining byte budget.
+class Reader {
+ public:
+  explicit Reader(std::istream& is)
+      : is_(is),
+        remaining_(stream_remaining(is).value_or(
+            std::numeric_limits<std::uint64_t>::max())) {}
+
+  Status read_raw(void* dst, std::uint64_t bytes, const char* what) {
+    if (bytes > remaining_) {
+      return Status(StatusCode::kTruncatedStream,
+                    std::string(what) + " needs " + std::to_string(bytes) +
+                        " bytes, stream has " + std::to_string(remaining_));
+    }
+    is_.read(static_cast<char*>(dst),
+             static_cast<std::streamsize>(bytes));
+    if (!is_.good() ||
+        static_cast<std::uint64_t>(is_.gcount()) != bytes) {
+      return Status(StatusCode::kTruncatedStream,
+                    std::string("stream ends inside ") + what);
+    }
+    remaining_ -= bytes;
+    return Status::Ok();
   }
-}
+
+  template <typename T>
+  Status read_pod(T& v, const char* what) {
+    return read_raw(&v, sizeof(T), what);
+  }
+
+  /// Length-prefixed array. `checksummed` appends the v2 CRC32 computed
+  /// over the length field and the payload.
+  template <typename T>
+  Status read_array(std::vector<T>& v, const char* name, bool checksummed) {
+    std::uint64_t n = 0;
+    JIGSAW_RETURN_IF_ERROR(read_pod(n, name));
+    if (n > kMaxElements) {
+      return Status(StatusCode::kInvalidFormat,
+                    std::string(name) + " declares " + std::to_string(n) +
+                        " elements, limit " + std::to_string(kMaxElements));
+    }
+    const std::uint64_t bytes = n * sizeof(T);
+    if (bytes > remaining_) {
+      // Checked before the allocation: the declared size alone must not
+      // be able to reserve more memory than the stream could ever fill.
+      return Status(StatusCode::kTruncatedStream,
+                    std::string(name) + " declares " + std::to_string(bytes) +
+                        " payload bytes, stream has " +
+                        std::to_string(remaining_));
+    }
+    v.resize(n);
+    if (n > 0) JIGSAW_RETURN_IF_ERROR(read_raw(v.data(), bytes, name));
+    if (checksummed) {
+      std::uint32_t stored = 0;
+      JIGSAW_RETURN_IF_ERROR(read_pod(stored, name));
+      std::uint32_t actual = crc32(&n, sizeof(n));
+      if (n > 0) actual = crc32_update(actual, v.data(), bytes);
+      if (stored != actual) {
+        std::ostringstream os;
+        os << name << " section CRC32 mismatch (stored " << std::hex
+           << stored << ", computed " << actual << ")";
+        return Status(StatusCode::kChecksumMismatch, os.str());
+      }
+    }
+    return Status::Ok();
+  }
+
+ private:
+  std::istream& is_;
+  std::uint64_t remaining_;
+};
 
 template <typename T>
-std::vector<T> read_vector(std::istream& is, std::uint64_t max_elements) {
-  const auto n = read_pod<std::uint64_t>(is);
-  JIGSAW_CHECK_MSG(n <= max_elements,
-                   "format stream declares " << n << " elements, limit "
-                                             << max_elements);
-  std::vector<T> v(n);
+void write_array(std::ostream& os, const std::vector<T>& v,
+                 bool checksummed) {
+  const std::uint64_t n = v.size();
+  write_pod(os, n);
   if (n > 0) {
-    is.read(reinterpret_cast<char*>(v.data()),
-            static_cast<std::streamsize>(n * sizeof(T)));
-    JIGSAW_CHECK_MSG(is.good(), "truncated format stream");
+    os.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(n * sizeof(T)));
   }
-  return v;
+  if (checksummed) {
+    std::uint32_t crc = crc32(&n, sizeof(n));
+    if (n > 0) crc = crc32_update(crc, v.data(), n * sizeof(T));
+    write_pod(os, crc);
+  }
 }
-
-// Sanity bound: no serialized array may exceed 1G elements.
-constexpr std::uint64_t kMaxElements = 1ull << 30;
 
 }  // namespace
 
+/// Private-member access point for the codec (friend of JigsawFormat).
+class serialize_detail {
+ public:
+  static std::uint32_t header_crc(std::uint32_t version, std::uint64_t rows,
+                                  std::uint64_t cols, std::int32_t block_tile,
+                                  std::uint8_t layout) {
+    std::uint32_t crc = crc32(&kMagic, sizeof(kMagic));
+    crc = crc32_update(crc, &version, sizeof(version));
+    crc = crc32_update(crc, &rows, sizeof(rows));
+    crc = crc32_update(crc, &cols, sizeof(cols));
+    crc = crc32_update(crc, &block_tile, sizeof(block_tile));
+    crc = crc32_update(crc, &layout, sizeof(layout));
+    return crc;
+  }
+
+  static void save(const JigsawFormat& f, std::ostream& os,
+                   BlobVersion version) {
+    const bool v2 = version == BlobVersion::kV2;
+    const auto ver = static_cast<std::uint32_t>(version);
+    const auto rows = static_cast<std::uint64_t>(f.rows_);
+    const auto cols = static_cast<std::uint64_t>(f.cols_);
+    const auto block_tile = static_cast<std::int32_t>(f.tile_.block_tile_m);
+    const auto layout = static_cast<std::uint8_t>(f.layout_);
+    write_pod(os, kMagic);
+    write_pod(os, ver);
+    write_pod(os, rows);
+    write_pod(os, cols);
+    write_pod(os, block_tile);
+    write_pod(os, layout);
+    if (v2) {
+      // Header CRC: shape fields are not covered by any section CRC, yet
+      // validate() only bounds them from below — an unchecksummed cols
+      // field could silently grow.
+      write_pod(os, header_crc(ver, rows, cols, block_tile, layout));
+    }
+    write_array(os, f.panels_, v2);
+    write_array(os, f.tiles_, v2);
+    write_array(os, f.col_idx_, v2);
+    write_array(os, f.block_col_idx_, v2);
+    write_array(os, f.values_, v2);
+    write_array(os, f.metadata_, v2);
+    JIGSAW_CHECK_MSG(os.good(), "failed to write format stream");
+  }
+
+  static Status load(std::istream& is, JigsawFormat& f) {
+    Reader r(is);
+    std::uint32_t magic = 0, version = 0;
+    JIGSAW_RETURN_IF_ERROR(r.read_pod(magic, "magic"));
+    if (magic != kMagic) {
+      return Status(StatusCode::kInvalidFormat,
+                    "not a Jigsaw format stream (bad magic)");
+    }
+    JIGSAW_RETURN_IF_ERROR(r.read_pod(version, "version"));
+    if (version != static_cast<std::uint32_t>(BlobVersion::kV1) &&
+        version != static_cast<std::uint32_t>(BlobVersion::kV2)) {
+      return Status(StatusCode::kUnsupportedVersion,
+                    "format version " + std::to_string(version) +
+                        " (this build reads v1 and v2)");
+    }
+    const bool v2 = version == static_cast<std::uint32_t>(BlobVersion::kV2);
+
+    std::uint64_t rows = 0, cols = 0;
+    std::int32_t block_tile = 0;
+    std::uint8_t layout = 0;
+    JIGSAW_RETURN_IF_ERROR(r.read_pod(rows, "rows"));
+    JIGSAW_RETURN_IF_ERROR(r.read_pod(cols, "cols"));
+    JIGSAW_RETURN_IF_ERROR(r.read_pod(block_tile, "block_tile"));
+    JIGSAW_RETURN_IF_ERROR(r.read_pod(layout, "metadata layout"));
+    if (v2) {
+      std::uint32_t stored = 0;
+      JIGSAW_RETURN_IF_ERROR(r.read_pod(stored, "header CRC"));
+      if (stored != header_crc(version, rows, cols, block_tile, layout)) {
+        return Status(StatusCode::kChecksumMismatch,
+                      "header CRC32 mismatch");
+      }
+    }
+    if (block_tile != 16 && block_tile != 32 && block_tile != 64) {
+      return Status(StatusCode::kInvalidFormat,
+                    "BLOCK_TILE must be 16, 32 or 64, got " +
+                        std::to_string(block_tile));
+    }
+    if (layout > 1) {
+      return Status(StatusCode::kInvalidFormat,
+                    "bad metadata layout tag " + std::to_string(layout));
+    }
+    f.rows_ = rows;
+    f.cols_ = cols;
+    f.tile_.block_tile_m = block_tile;
+    f.layout_ = static_cast<MetadataLayout>(layout);
+
+    JIGSAW_RETURN_IF_ERROR(r.read_array(f.panels_, "panel headers", v2));
+    JIGSAW_RETURN_IF_ERROR(r.read_array(f.tiles_, "tile headers", v2));
+    JIGSAW_RETURN_IF_ERROR(r.read_array(f.col_idx_, "col_idx_array", v2));
+    JIGSAW_RETURN_IF_ERROR(
+        r.read_array(f.block_col_idx_, "block_col_idx_array", v2));
+    JIGSAW_RETURN_IF_ERROR(r.read_array(f.values_, "values", v2));
+    JIGSAW_RETURN_IF_ERROR(r.read_array(f.metadata_, "metadata", v2));
+
+    // The deep structural validator subsumes the cross-count checks the
+    // v1 loader carried inline: nothing a corrupted blob can encode gets
+    // past it into an accessor.
+    return f.validate();
+  }
+};
+
 void save_format(const JigsawFormat& f, std::ostream& os) {
-  write_pod(os, kMagic);
-  write_pod(os, kVersion);
-  write_pod<std::uint64_t>(os, f.rows_);
-  write_pod<std::uint64_t>(os, f.cols_);
-  write_pod<std::int32_t>(os, f.tile_.block_tile_m);
-  write_pod<std::uint8_t>(os, static_cast<std::uint8_t>(f.layout_));
-  write_vector(os, f.panels_);
-  write_vector(os, f.tiles_);
-  write_vector(os, f.col_idx_);
-  write_vector(os, f.block_col_idx_);
-  write_vector(os, f.values_);
-  write_vector(os, f.metadata_);
-  JIGSAW_CHECK_MSG(os.good(), "failed to write format stream");
+  serialize_detail::save(f, os, BlobVersion::kV2);
+}
+
+void save_format(const JigsawFormat& f, std::ostream& os,
+                 BlobVersion version) {
+  serialize_detail::save(f, os, version);
+}
+
+Result<JigsawFormat> load_format_checked(std::istream& is) {
+  JigsawFormat f;
+  Status status = serialize_detail::load(is, f);
+  if (!status.ok()) return status;
+  return f;
 }
 
 JigsawFormat load_format(std::istream& is) {
-  JIGSAW_CHECK_MSG(read_pod<std::uint32_t>(is) == kMagic,
-                   "not a Jigsaw format stream (bad magic)");
-  JIGSAW_CHECK_MSG(read_pod<std::uint32_t>(is) == kVersion,
-                   "unsupported format version");
-  JigsawFormat f;
-  f.rows_ = read_pod<std::uint64_t>(is);
-  f.cols_ = read_pod<std::uint64_t>(is);
-  f.tile_.block_tile_m = read_pod<std::int32_t>(is);
-  f.tile_.validate();
-  const auto layout = read_pod<std::uint8_t>(is);
-  JIGSAW_CHECK_MSG(layout <= 1, "bad metadata layout tag");
-  f.layout_ = static_cast<MetadataLayout>(layout);
-
-  f.panels_ = read_vector<JigsawFormat::PanelHeader>(is, kMaxElements);
-  f.tiles_ = read_vector<JigsawFormat::TileHeader>(is, kMaxElements);
-  f.col_idx_ = read_vector<std::uint32_t>(is, kMaxElements);
-  f.block_col_idx_ = read_vector<std::uint32_t>(is, kMaxElements);
-  f.values_ = read_vector<fp16_t>(is, kMaxElements);
-  f.metadata_ = read_vector<std::uint32_t>(is, kMaxElements);
-
-  // Cross-validate every count against the headers so a corrupted blob is
-  // rejected before any accessor can run off the end of an array.
-  const std::size_t bt = static_cast<std::size_t>(f.tile_.block_tile_m);
-  JIGSAW_CHECK_MSG(f.panels_.size() == (f.rows_ + bt - 1) / bt,
-                   "panel count does not match matrix shape");
-  const auto slices = static_cast<std::size_t>(f.row_slices_per_panel());
-  std::size_t tiles = 0, pairs = 0, cols = 0;
-  for (const auto& p : f.panels_) {
-    JIGSAW_CHECK_MSG(p.col_idx_offset == cols && p.tile_offset == tiles,
-                     "panel offsets are not contiguous");
-    JIGSAW_CHECK_MSG(p.col_count <= f.cols_, "panel col_count exceeds K");
-    cols += p.col_count;
-    tiles += p.tile_count;
-    pairs += p.mma_pairs();
-  }
-  JIGSAW_CHECK_MSG(f.col_idx_.size() == cols, "col_idx_array size mismatch");
-  JIGSAW_CHECK_MSG(f.tiles_.size() == tiles, "tile header count mismatch");
-  JIGSAW_CHECK_MSG(f.block_col_idx_.size() == tiles * slices * kMmaTile,
-                   "block_col_idx_array size mismatch");
-  JIGSAW_CHECK_MSG(
-      f.values_.size() == pairs * slices * f.values_per_pair(),
-      "values array size mismatch");
-  JIGSAW_CHECK_MSG(
-      f.metadata_.size() == pairs * slices * f.metadata_words_per_pair(),
-      "metadata array size mismatch");
-  for (const auto& p : f.panels_) {
-    std::uint32_t next = 0;
-    for (std::uint32_t t = 0; t < p.tile_count; ++t) {
-      const auto& th = f.tiles_[p.tile_offset + t];
-      JIGSAW_CHECK_MSG(th.col_begin == next && th.col_count >= 1 &&
-                           th.col_count <= kMmaTile,
-                       "tile header out of range");
-      next += th.col_count;
-    }
-    JIGSAW_CHECK_MSG(next == p.col_count, "tiles do not cover the panel");
-  }
-  for (const auto c : f.col_idx_) {
-    JIGSAW_CHECK_MSG(c < f.cols_, "column index out of range");
-  }
-  for (const auto perm : f.block_col_idx_) {
-    JIGSAW_CHECK_MSG(perm < kMmaTile, "permutation entry out of range");
-  }
-  return f;
+  Result<JigsawFormat> r = load_format_checked(is);
+  JIGSAW_CHECK_MSG(r.ok(), r.status().to_string());
+  return std::move(r).take();
 }
 
 void save_format_file(const JigsawFormat& format, const std::string& path) {
@@ -148,6 +266,14 @@ JigsawFormat load_format_file(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   JIGSAW_CHECK_MSG(is.is_open(), "cannot open " << path);
   return load_format(is);
+}
+
+Result<JigsawFormat> load_format_file_checked(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.is_open()) {
+    return Status(StatusCode::kIoError, "cannot open " + path);
+  }
+  return load_format_checked(is);
 }
 
 }  // namespace jigsaw::core

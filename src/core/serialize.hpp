@@ -4,29 +4,59 @@
 // (§3.1); persisting its product lets a deployment reorder offline and
 // ship the compressed operand next to the model weights. The encoding is
 // a small versioned header followed by the flat arrays, all little-endian
-// (the library targets little-endian hosts; loading validates every count
-// against the header and the stream length, so truncated or corrupted
-// blobs are rejected instead of crashing).
+// (the library targets little-endian hosts).
+//
+// Two on-disk versions exist:
+//   * v1 — header + raw length-prefixed arrays (legacy; still readable).
+//   * v2 — the same arrays as sections, each carrying a CRC32 over its
+//     length field and payload, so silent bit rot is detected before the
+//     structural validator runs. v2 is what save_format writes.
+//
+// Two loading tiers exist (docs/ROBUSTNESS.md): the throwing load_format
+// for trusted callers, and load_format_checked, which returns a
+// Result<JigsawFormat> and never throws on malformed input. Both bound
+// every allocation by the remaining stream size and finish with
+// JigsawFormat::validate(), so truncated, corrupted or hostile blobs are
+// rejected instead of crashing or over-allocating.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 
+#include "common/status.hpp"
 #include "core/format.hpp"
 
 namespace jigsaw::core {
 
-/// Writes the format to a binary stream. Throws jigsaw::Error on I/O
-/// failure.
+/// On-disk encoding version.
+enum class BlobVersion : std::uint32_t { kV1 = 1, kV2 = 2 };
+
+/// Writes the format to a binary stream (v2, checksummed). Throws
+/// jigsaw::Error on I/O failure.
 void save_format(const JigsawFormat& format, std::ostream& os);
 
-/// Reads a format written by save_format. Throws jigsaw::Error on
-/// malformed input (bad magic, unsupported version, inconsistent counts,
-/// truncation).
+/// Writes a specific blob version; kV1 exists for compatibility testing
+/// of the legacy un-checksummed encoding.
+void save_format(const JigsawFormat& format, std::ostream& os,
+                 BlobVersion version);
+
+/// Reads a format written by save_format (either version). Throws
+/// jigsaw::Error on malformed input (bad magic, unsupported version,
+/// checksum mismatch, inconsistent counts, truncation).
 JigsawFormat load_format(std::istream& is);
+
+/// Non-throwing loader: reads v1 and v2 blobs, verifies v2 section
+/// checksums, and deep-validates the result. Error codes:
+///   kInvalidFormat      bad magic, bad field, or validate() failure
+///   kUnsupportedVersion blob version this build cannot read
+///   kTruncatedStream    stream ends before its declared payload
+///   kChecksumMismatch   a v2 section fails its CRC32
+Result<JigsawFormat> load_format_checked(std::istream& is);
 
 /// Convenience file wrappers.
 void save_format_file(const JigsawFormat& format, const std::string& path);
 JigsawFormat load_format_file(const std::string& path);
+/// Non-throwing file loader; kIoError when the file cannot be opened.
+Result<JigsawFormat> load_format_file_checked(const std::string& path);
 
 }  // namespace jigsaw::core

@@ -80,8 +80,11 @@ DenseMatrix<fp16_t> read_matrix_market(std::istream& is) {
   JIGSAW_CHECK_MSG(size_ss && rows > 0 && cols > 0 && entries >= 0,
                    "bad size line: " << size_line);
 
-  DenseMatrix<fp16_t> m(static_cast<std::size_t>(rows),
-                        static_cast<std::size_t>(cols));
+  // Accumulate in double: the Matrix Market convention is that repeated
+  // (r, c) coordinates sum, and summing before the single fp16 rounding
+  // keeps the result independent of how the duplicates are split.
+  DenseMatrix<double> acc(static_cast<std::size_t>(rows),
+                          static_cast<std::size_t>(cols), 0.0);
   for (long long i = 0; i < entries; ++i) {
     const std::string line = next_content_line(is);
     JIGSAW_CHECK_MSG(!line.empty(), "stream ends after " << i << " of "
@@ -97,9 +100,16 @@ DenseMatrix<fp16_t> read_matrix_market(std::istream& is) {
                      "entry out of range: " << line);
     const auto ri = static_cast<std::size_t>(r - 1);
     const auto ci = static_cast<std::size_t>(c - 1);
-    m(ri, ci) = fp16_t(static_cast<float>(value));
+    acc(ri, ci) += value;
     if (banner.symmetry == Banner::Symmetry::kSymmetric && r != c) {
-      m(ci, ri) = fp16_t(static_cast<float>(value));
+      acc(ci, ri) += value;
+    }
+  }
+  DenseMatrix<fp16_t> m(static_cast<std::size_t>(rows),
+                        static_cast<std::size_t>(cols));
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      if (acc(r, c) != 0.0) m(r, c) = fp16_t(static_cast<float>(acc(r, c)));
     }
   }
   return m;

@@ -1,0 +1,219 @@
+// Checked execution tier (core/checked.hpp): Status/Result plumbing, the
+// format-level validate-then-run path, and graceful degradation — a panel
+// whose reorder fails must still produce the exact product by running on
+// the hybrid dense-TC / CUDA-core pipes, with the fallback visible in the
+// DegradationReport.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/status.hpp"
+#include "core/checked.hpp"
+#include "core/kernel.hpp"
+#include "core/serialize.hpp"
+#include "matrix/reference.hpp"
+#include "matrix/vector_sparse.hpp"
+#include "testing/fault_injection.hpp"
+
+namespace jigsaw::core {
+namespace {
+
+using jigsaw::testing::CorruptionClass;
+using jigsaw::testing::FormatSurgeon;
+
+DenseMatrix<fp16_t> random_rhs(std::size_t rows, std::size_t cols,
+                               std::uint64_t seed) {
+  DenseMatrix<fp16_t> b(rows, cols);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b.data()[i] = fp16_t(rng.uniform(-1.0f, 1.0f));
+  }
+  return b;
+}
+
+// ---- Status / Result ------------------------------------------------------
+
+TEST(Status, DefaultIsOkAndCarriesMessages) {
+  EXPECT_TRUE(Status().ok());
+  EXPECT_EQ(Status().code(), StatusCode::kOk);
+  const Status s(StatusCode::kInvalidFormat, "panel 3 is bad");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidFormat);
+  EXPECT_NE(s.to_string().find("panel 3 is bad"), std::string::npos);
+  EXPECT_NE(s.to_string().find("invalid-format"), std::string::npos);
+  EXPECT_EQ(s, Status(StatusCode::kInvalidFormat, "different message"));
+}
+
+TEST(Status, ResultHoldsValueOrStatus) {
+  const auto make_good = [] { return Result<int>(41); };
+  ASSERT_TRUE(make_good().ok());
+  EXPECT_EQ(make_good().value(), 41);
+  EXPECT_TRUE(make_good().status().ok());
+
+  Result<int> bad(Status(StatusCode::kTruncatedStream, "short read"));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kTruncatedStream);
+
+  // Wrong-side access and wrapping an OK status are contract violations
+  // (programmer errors stay in the throwing tier).
+  EXPECT_THROW(bad.value(), jigsaw::Error);
+  const auto wrap_ok = [] { return Result<int>(Status()); };
+  EXPECT_THROW(wrap_ok(), jigsaw::Error);
+}
+
+TEST(Status, ReturnIfErrorMacroPropagates) {
+  const auto passthrough = [](Status s) -> Status {
+    JIGSAW_RETURN_IF_ERROR(s);
+    return Status(StatusCode::kInternal, "reached the end");
+  };
+  EXPECT_EQ(passthrough(Status(StatusCode::kIoError, "x")).code(),
+            StatusCode::kIoError);
+  EXPECT_EQ(passthrough(Status()).code(), StatusCode::kInternal);
+}
+
+// ---- Matrix-level checked run ---------------------------------------------
+
+TEST(CheckedRun, RejectsBadArguments) {
+  const DenseMatrix<fp16_t> a(32, 32);
+  gpusim::CostModel cm;
+  EXPECT_EQ(run_spmm_checked(DenseMatrix<fp16_t>(), random_rhs(32, 8, 1), cm)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(run_spmm_checked(a, random_rhs(31, 8, 1), cm).status().code(),
+            StatusCode::kInvalidArgument);
+  CheckedRunOptions opts;
+  opts.tile.block_tile_m = 24;
+  EXPECT_EQ(run_spmm_checked(a, random_rhs(32, 8, 1), cm, opts)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CheckedRun, CleanMatrixTakesTheSptcPathUndegraded) {
+  VectorSparseOptions o;
+  o.rows = 64;
+  o.cols = 128;
+  o.vector_width = 4;
+  o.sparsity = 0.85;
+  o.seed = 11;
+  const auto a = VectorSparseGenerator::generate(o).values();
+  const auto b = random_rhs(a.cols(), 16, 5);
+  gpusim::CostModel cm;
+
+  auto run = run_spmm_checked(a, b, cm);
+  ASSERT_TRUE(run.ok()) << run.status().to_string();
+  const auto& result = run.value();
+  EXPECT_FALSE(result.degradation.degraded());
+  EXPECT_EQ(result.degradation.panels_degraded, 0u);
+  EXPECT_GT(result.degradation.panels_total, 0u);
+  EXPECT_EQ(result.degradation.validation_failures, 0u);
+  EXPECT_TRUE(allclose(result.c, reference_gemm(a, b), a.cols()));
+  EXPECT_GT(result.report.duration_us, 0.0);
+}
+
+/// Adversarial panel: with BLOCK_TILE 16, a fully dense 16x17 block (16
+/// all-ones columns plus one single-nonzero straggler) has a row of 17
+/// nonzeros — more than one mma pair can compress — and no spare columns
+/// to evict into, so the reorder must either tail-split or grow K. Either
+/// way the checked tier has to degrade the panel.
+DenseMatrix<fp16_t> adversarial_matrix() {
+  DenseMatrix<fp16_t> a(32, 32);
+  for (std::size_t r = 0; r < 16; ++r) {
+    for (std::size_t c = 0; c < 16; ++c) a(r, c) = fp16_t(1.0f);
+  }
+  a(5, 24) = fp16_t(2.0f);  // nnz 1 in the panel -> CUDA-core fallback
+  // Panel 1 stays trivially 2:4-compliant: one nonzero per row.
+  for (std::size_t r = 0; r < 16; ++r) {
+    a(16 + r, r) = fp16_t(0.5f + 0.03125f * static_cast<float>(r));
+  }
+  return a;
+}
+
+TEST(CheckedRun, ReorderFailureDegradesToHybridAndStaysExact) {
+  const auto a = adversarial_matrix();
+  const auto b = random_rhs(a.cols(), 16, 7);
+  gpusim::CostModel cm;
+  CheckedRunOptions opts;
+  opts.tile.block_tile_m = 16;
+
+  // Sanity: the plain tier really cannot hold this panel in the SpTC path.
+  ReorderOptions ropts;
+  ropts.tile.block_tile_m = 16;
+  const auto plain = multi_granularity_reorder(a, ropts);
+  ASSERT_FALSE(plain.success());
+
+  auto run = run_spmm_checked(a, b, cm, opts);
+  ASSERT_TRUE(run.ok()) << run.status().to_string();
+  const auto& result = run.value();
+  EXPECT_TRUE(result.degradation.degraded());
+  EXPECT_EQ(result.degradation.panels_total, 2u);
+  EXPECT_EQ(result.degradation.panels_degraded, 1u);
+  EXPECT_EQ(result.degradation.fallback_dense_columns, 16u);
+  EXPECT_EQ(result.degradation.fallback_cuda_columns, 1u);
+  EXPECT_EQ(result.degradation.validation_failures, 0u);
+  ASSERT_EQ(result.degradation.notes.size(), 1u);
+  EXPECT_NE(result.degradation.notes[0].find("panel 0"), std::string::npos);
+
+  // The product is exact despite the panel leaving the SpTC path.
+  EXPECT_TRUE(allclose(result.c, reference_gemm(a, b), a.cols()));
+}
+
+// ---- Format-level checked run ---------------------------------------------
+
+TEST(CheckedRun, ValidFormatComputesLikeThePlainKernel) {
+  VectorSparseOptions o;
+  o.rows = 64;
+  o.cols = 64;
+  o.vector_width = 4;
+  o.sparsity = 0.9;
+  o.seed = 3;
+  const auto a = VectorSparseGenerator::generate(o).values();
+  const FormatSurgeon surgeon(a);
+  const auto b = random_rhs(a.cols(), 8, 2);
+
+  DegradationReport report;
+  auto run = run_spmm_checked(surgeon.format(), b, &report);
+  ASSERT_TRUE(run.ok()) << run.status().to_string();
+  EXPECT_EQ(report.validation_failures, 0u);
+  EXPECT_EQ(max_abs_diff(run.value(), jigsaw_compute(surgeon.format(), b)),
+            0.0);
+}
+
+TEST(CheckedRun, CorruptFormatIsRejectedAndCounted) {
+  VectorSparseOptions o;
+  o.rows = 64;
+  o.cols = 64;
+  o.vector_width = 4;
+  o.sparsity = 0.9;
+  o.seed = 3;
+  const auto a = VectorSparseGenerator::generate(o).values();
+  const FormatSurgeon surgeon(a);
+  const auto bad = surgeon.corrupt(CorruptionClass::kBrokenPermutation);
+  const auto b = random_rhs(a.cols(), 8, 2);
+
+  DegradationReport report;
+  auto run = run_spmm_checked(bad, b, &report);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidFormat);
+  EXPECT_EQ(report.validation_failures, 1u);
+  ASSERT_EQ(report.notes.size(), 1u);
+  EXPECT_NE(report.notes[0].find("rejected"), std::string::npos);
+}
+
+TEST(CheckedRun, FormatShapeMismatchIsInvalidArgument) {
+  VectorSparseOptions o;
+  o.rows = 64;
+  o.cols = 64;
+  o.vector_width = 4;
+  o.sparsity = 0.9;
+  o.seed = 3;
+  const auto a = VectorSparseGenerator::generate(o).values();
+  const FormatSurgeon surgeon(a);
+  auto run = run_spmm_checked(surgeon.format(), random_rhs(63, 8, 2));
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace jigsaw::core

@@ -3,16 +3,26 @@
 // really consume every array of the reorder-aware format — a simulator
 // that ignored the metadata or the permutations would pass the plain
 // correctness tests by accident and fail these.
+//
+// The corruption machinery itself lives in src/testing/fault_injection.*;
+// this file covers both its corruption classes (every class must be
+// rejected by the checked tier) and the load-bearing-ness of the arrays.
 #include <gtest/gtest.h>
+
+#include <sstream>
 
 #include "core/format.hpp"
 #include "core/kernel.hpp"
+#include "core/serialize.hpp"
 #include "matrix/reference.hpp"
 #include "matrix/vector_sparse.hpp"
 #include "sptc/mma_sp.hpp"
+#include "testing/fault_injection.hpp"
 
 namespace jigsaw::core {
 namespace {
+
+using jigsaw::testing::FormatSurgeon;
 
 struct Fixture {
   DenseMatrix<fp16_t> a;
@@ -37,21 +47,58 @@ struct Fixture {
   }
 };
 
-/// Mutable access to the format internals through its serialized image:
-/// corrupting the blob and reloading exercises the same arrays the kernel
-/// reads, without friending the test into the class.
-class FormatSurgeon {
- public:
-  explicit FormatSurgeon(const DenseMatrix<fp16_t>& a, int bt = 32) {
-    ReorderOptions opts;
-    opts.tile.block_tile_m = bt;
-    format_ = JigsawFormat::build(a, multi_granularity_reorder(a, opts));
-  }
-  const JigsawFormat& format() const { return format_; }
+TEST(FaultInjection, HealthyFormatValidatesAndLoads) {
+  const auto f = Fixture::make();
+  const FormatSurgeon surgeon(f.a);
+  EXPECT_TRUE(surgeon.format().validate().ok());
+  std::istringstream is(surgeon.blob());
+  auto loaded = load_format_checked(is);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  EXPECT_TRUE(allclose(jigsaw_compute(loaded.value(), f.b), f.ref,
+                       f.a.cols()));
+}
 
- private:
-  JigsawFormat format_;
-};
+// Every corruption class, over several seeds, must be rejected — in
+// memory by validate(), on the wire by load_format_checked. This is the
+// acceptance gate of the checked tier.
+TEST(FaultInjection, EveryCorruptionClassIsRejected) {
+  const auto f = Fixture::make();
+  const FormatSurgeon surgeon(f.a);
+  for (const auto c : jigsaw::testing::kAllCorruptionClasses) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      const Status s = surgeon.probe(c, seed);
+      EXPECT_FALSE(s.ok()) << "undetected corruption: "
+                           << jigsaw::testing::to_string(c) << " seed "
+                           << seed;
+    }
+  }
+}
+
+TEST(FaultInjection, InMemoryClassesFailValidateWithInvalidFormat) {
+  // The in-memory classes survive (re-)serialization with fresh checksums,
+  // so the structural validator — not the CRC — is what rejects them.
+  const auto f = Fixture::make();
+  const FormatSurgeon surgeon(f.a);
+  for (const auto c : jigsaw::testing::kAllCorruptionClasses) {
+    if (jigsaw::testing::is_blob_corruption(c)) continue;
+    const Status s = surgeon.probe(c, 2);
+    EXPECT_EQ(s.code(), StatusCode::kInvalidFormat)
+        << jigsaw::testing::to_string(c) << ": " << s.to_string();
+    // And through the wire: corrupt, re-serialize, reload.
+    std::istringstream is(surgeon.corrupt_blob(c, 2));
+    EXPECT_FALSE(load_format_checked(is).ok())
+        << jigsaw::testing::to_string(c) << " slipped through the loader";
+  }
+}
+
+TEST(FaultInjection, BlobMutatorsAreDeterministic) {
+  const auto f = Fixture::make();
+  const FormatSurgeon surgeon(f.a);
+  for (const auto c : jigsaw::testing::kAllCorruptionClasses) {
+    EXPECT_EQ(surgeon.corrupt_blob(c, 42), surgeon.corrupt_blob(c, 42))
+        << jigsaw::testing::to_string(c);
+  }
+}
 
 TEST(FaultInjection, MetadataBitsAreLoadBearing) {
   // Flip one 2-bit selector inside a compressed tile: the mma.sp result

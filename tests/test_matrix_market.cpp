@@ -64,6 +64,36 @@ TEST(MatrixMarket, ReadsInteger) {
   EXPECT_EQ(static_cast<float>(m(0, 1)), -3.0f);
 }
 
+TEST(MatrixMarket, SumsDuplicateEntries) {
+  // Matrix Market convention: repeated coordinates accumulate. The sum
+  // happens before the single fp16 rounding, so splitting a value across
+  // duplicates cannot change the result.
+  const auto m = parse(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 4\n"
+      "1 1 1.5\n"
+      "1 1 2.5\n"
+      "2 2 1.0\n"
+      "2 2 -1.0\n");
+  EXPECT_EQ(static_cast<float>(m(0, 0)), 4.0f);
+  // Duplicates cancelling to zero leave a structural zero.
+  EXPECT_TRUE(m(1, 1).is_zero());
+  EXPECT_EQ(count_nonzeros(m), 1u);
+}
+
+TEST(MatrixMarket, SumsDuplicatesAcrossSymmetricMirror) {
+  // An off-diagonal duplicate accumulates on both sides of the mirror.
+  const auto m = parse(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 3\n"
+      "2 1 5.0\n"
+      "2 1 -3.0\n"
+      "1 1 1.0\n");
+  EXPECT_EQ(static_cast<float>(m(1, 0)), 2.0f);
+  EXPECT_EQ(static_cast<float>(m(0, 1)), 2.0f);
+  EXPECT_EQ(static_cast<float>(m(0, 0)), 1.0f);
+}
+
 TEST(MatrixMarket, RoundTrip) {
   VectorSparseOptions o;
   o.rows = 32;

@@ -116,6 +116,147 @@ TEST(Serialize, RejectsCorruptedPermutation) {
   EXPECT_GT(rejected, 0);
 }
 
+// ---- Checked loader (v2 blobs, Status tier) -------------------------------
+
+JigsawFormat build_format(const DenseMatrix<fp16_t>& a, int bt) {
+  ReorderOptions opts;
+  opts.tile.block_tile_m = bt;
+  return JigsawFormat::build(a, multi_granularity_reorder(a, opts));
+}
+
+TEST(Serialize, CheckedRoundTrip) {
+  const auto f = sample_format();
+  std::istringstream is(to_blob(f), std::ios::binary);
+  auto r = load_format_checked(is);
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_EQ(r.value().col_idx_array(), f.col_idx_array());
+}
+
+TEST(Serialize, EmptyMatrixRoundTrips) {
+  // All-zero matrix: every column dies in the reorder, the format is pure
+  // headers. It must still serialize, validate and reload.
+  const DenseMatrix<fp16_t> a(64, 64);
+  const auto f = build_format(a, 32);
+  EXPECT_TRUE(f.validate().ok()) << f.validate().to_string();
+  EXPECT_TRUE(f.values().empty());
+  std::istringstream is(to_blob(f), std::ios::binary);
+  auto r = load_format_checked(is);
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_EQ(r.value().rows(), 64u);
+  EXPECT_EQ(r.value().panels().size(), 2u);
+}
+
+TEST(Serialize, AllZeroColumnMatrixRoundTrips) {
+  // Only column 5 is live; the others must vanish from col_idx_array.
+  DenseMatrix<fp16_t> a(64, 64);
+  for (std::size_t r = 0; r < a.rows(); ++r) a(r, 5) = fp16_t(1.0f);
+  const auto f = build_format(a, 32);
+  EXPECT_TRUE(f.validate().ok()) << f.validate().to_string();
+  std::istringstream is(to_blob(f), std::ios::binary);
+  auto r = load_format_checked(is);
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_EQ(r.value().col_idx_array(), std::vector<std::uint32_t>({5, 5}));
+}
+
+TEST(Serialize, RaggedRowCountRoundTrips) {
+  // M = 40 is not a multiple of BLOCK_TILE 32: the last panel is short.
+  VectorSparseOptions o;
+  o.rows = 40;
+  o.cols = 96;
+  o.vector_width = 4;
+  o.sparsity = 0.9;
+  o.seed = 21;
+  const auto a = VectorSparseGenerator::generate(o).values();
+  const auto f = build_format(a, 32);
+  EXPECT_TRUE(f.validate().ok()) << f.validate().to_string();
+  std::istringstream is(to_blob(f), std::ios::binary);
+  auto r = load_format_checked(is);
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_EQ(r.value().rows(), 40u);
+  EXPECT_EQ(r.value().panels().size(), 2u);
+
+  DenseMatrix<fp16_t> b(a.cols(), 8);
+  Rng rng(3);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b.data()[i] = fp16_t(rng.uniform(-1.0f, 1.0f));
+  }
+  EXPECT_TRUE(allclose(jigsaw_compute(r.value(), b), reference_gemm(a, b),
+                       a.cols()));
+}
+
+TEST(Serialize, V1BlobStillLoads) {
+  // Blobs written before the checksummed v2 layout must stay readable by
+  // both loaders.
+  const auto f = sample_format();
+  std::ostringstream os(std::ios::binary);
+  save_format(f, os, BlobVersion::kV1);
+  const auto v1 = os.str();
+  EXPECT_LT(v1.size(), to_blob(f).size());  // v2 carries the CRCs
+
+  std::istringstream is1(v1, std::ios::binary);
+  auto r = load_format_checked(is1);
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_EQ(r.value().col_idx_array(), f.col_idx_array());
+
+  std::istringstream is2(v1, std::ios::binary);
+  EXPECT_EQ(load_format(is2).metadata(), f.metadata());
+}
+
+TEST(Serialize, UnknownVersionIsRejected) {
+  auto blob = to_blob(sample_format());
+  blob[4] = 3;  // version field follows the 4-byte magic
+  std::istringstream is(blob, std::ios::binary);
+  EXPECT_EQ(load_format_checked(is).status().code(),
+            StatusCode::kUnsupportedVersion);
+}
+
+TEST(Serialize, ChecksumMismatchIsReportedAsSuch) {
+  auto blob = to_blob(sample_format());
+  // Flip one payload bit far from any length field: the section CRC must
+  // catch it and name the failure precisely.
+  blob[blob.size() / 2] ^= 0x10;
+  std::istringstream is(blob, std::ios::binary);
+  EXPECT_EQ(load_format_checked(is).status().code(),
+            StatusCode::kChecksumMismatch);
+}
+
+TEST(Serialize, TruncationIsReportedAsSuch) {
+  const auto blob = to_blob(sample_format());
+  std::istringstream is(blob.substr(0, blob.size() - 7), std::ios::binary);
+  EXPECT_EQ(load_format_checked(is).status().code(),
+            StatusCode::kTruncatedStream);
+}
+
+TEST(Serialize, HostileLengthFieldDoesNotAllocate) {
+  // Overwrite the first section's count (a u64 right after the 33-byte v2
+  // header) with 2^61 "elements". The loader must bound the allocation by
+  // the bytes actually remaining and refuse, rather than calling resize().
+  auto blob = to_blob(sample_format());
+  const std::uint64_t huge = 1ull << 61;
+  for (int i = 0; i < 8; ++i) {
+    blob[33 + i] = static_cast<char>((huge >> (8 * i)) & 0xff);
+  }
+  std::istringstream is(blob, std::ios::binary);
+  const auto s = load_format_checked(is).status();
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.code() == StatusCode::kTruncatedStream ||
+              s.code() == StatusCode::kInvalidFormat)
+      << s.to_string();
+}
+
+TEST(Serialize, CheckedFileLoader) {
+  const auto f = sample_format();
+  const std::string path = "/tmp/jigsaw_format_checked_test.bin";
+  save_format_file(f, path);
+  auto r = load_format_file_checked(path);
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_EQ(r.value().col_idx_array(), f.col_idx_array());
+  EXPECT_EQ(load_format_file_checked("/tmp/jigsaw_does_not_exist.bin")
+                .status()
+                .code(),
+            StatusCode::kIoError);
+}
+
 TEST(Serialize, FileRoundTrip) {
   const auto f = sample_format();
   const std::string path = "/tmp/jigsaw_format_test.bin";
