@@ -122,7 +122,19 @@ std::string SpeedupAccumulator::avg_max(const std::string& key) const {
   return bench::avg_max(samples(key));
 }
 
+void warn_if_debug_build() {
+#if !defined(NDEBUG)
+  std::cerr
+      << "**************************************************************\n"
+      << "* WARNING: benchmark compiled WITHOUT NDEBUG (debug build).  *\n"
+      << "* Timings are not comparable to Release numbers — rebuild    *\n"
+      << "* with -DCMAKE_BUILD_TYPE=Release before recording results.  *\n"
+      << "**************************************************************\n";
+#endif
+}
+
 void print_banner(const std::string& title, const std::string& paper_ref) {
+  warn_if_debug_build();
   std::cout << "==================================================\n"
             << title << "\n"
             << "Reproduces: " << paper_ref << "\n"

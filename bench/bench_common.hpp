@@ -59,4 +59,9 @@ class SpeedupAccumulator {
 /// Prints the standard bench banner (seed, mode, device).
 void print_banner(const std::string& title, const std::string& paper_ref);
 
+/// Prints a loud stderr warning when this binary was compiled without
+/// NDEBUG (assertions on, likely no optimization): numbers from such a
+/// build must not be recorded as baselines.
+void warn_if_debug_build();
+
 }  // namespace jigsaw::bench

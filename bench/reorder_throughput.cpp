@@ -5,6 +5,11 @@
 // widths, and BLOCK_TILE sizes, reporting elements/second.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
 #include "core/kernel.hpp"
 #include "dlmc/suite.hpp"
 
@@ -18,19 +23,22 @@ void bench_reorder(benchmark::State& state) {
   const dlmc::Shape shape{512, 1024};
   const auto a = dlmc::make_lhs(shape, sparsity, v);
 
+  core::PlanStats last{};
+  bool success = false;
   for (auto _ : state) {
     core::ReorderOptions opts;
     opts.tile.block_tile_m = bt;
     auto result = core::multi_granularity_reorder(a.values(), opts);
     benchmark::DoNotOptimize(result.panels.data());
+    last = result.stats;
+    success = result.success();
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(shape.m * shape.k));
-  state.counters["success"] = 0.0;
-  core::ReorderOptions opts;
-  opts.tile.block_tile_m = bt;
-  state.counters["success"] =
-      core::multi_granularity_reorder(a.values(), opts).success() ? 1.0 : 0.0;
+  state.counters["success"] = success ? 1.0 : 0.0;
+  state.counters["evictions"] = static_cast<double>(last.evictions);
+  state.counters["cache_hit_rate"] = last.cache_hit_rate();
+  state.counters["rescued"] = static_cast<double>(last.rescued_panels);
 }
 
 void bench_format_build(benchmark::State& state) {
@@ -71,4 +79,26 @@ BENCHMARK(jigsaw::bench_format_build)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(jigsaw::bench_full_plan)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN: `--json` writes the machine-
+// readable result file BENCH_reorder.json (tracked perf baseline) next to
+// the working directory, by injecting google-benchmark's own output flags.
+int main(int argc, char** argv) {
+  jigsaw::bench::warn_if_debug_build();
+  std::vector<char*> args;
+  std::string out_flag = "--benchmark_out=BENCH_reorder.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      args.push_back(out_flag.data());
+      args.push_back(fmt_flag.data());
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -132,6 +132,23 @@ int cmd_info(const Args& args, std::ostream& out) {
         << static_cast<double>(r.total_zero_columns()) /
                static_cast<double>(r.panels.size())
         << ", evictions " << r.total_evictions() << "\n";
+    const core::PlanStats& s = r.stats;
+    out << "  plan: " << s.total_seconds * 1e3 << " ms ("
+        << s.mask_seconds * 1e3 << " mask / " << s.search_seconds * 1e3
+        << " search), " << s.tile_searches << " searches, "
+        << s.identity_tiles << " identity, " << s.fresh_enumerations
+        << " enumerations, cache hit rate " << s.cache_hit_rate() * 100
+        << "%, " << s.incremental_updates << " incremental updates\n";
+    if (r.failed_panels() > 0 || s.rescued_panels > 0) {
+      out << "  failures: " << r.failed_panels() << " panel(s) over K ("
+          << r.failure_count(core::PanelFailure::kInfeasibleRow)
+          << " infeasible-row, "
+          << r.failure_count(core::PanelFailure::kRetryExhausted)
+          << " retry-exhausted, "
+          << r.failure_count(core::PanelFailure::kTailSplit)
+          << " tail-split), " << s.rescued_panels << " rescued in "
+          << s.rescue_attempts_run << " attempt(s)\n";
+    }
   }
   return 0;
 }
@@ -161,6 +178,10 @@ int cmd_plan(const Args& args, std::ostream& out) {
              (2.0 * static_cast<double>(a.rows()) *
               static_cast<double>(a.cols()))
       << "% of dense)\n";
+  out << "planned in " << reorder.stats.total_seconds * 1e3 << " ms, "
+      << reorder.stats.tile_searches << " tile searches, "
+      << reorder.stats.evictions << " evictions, "
+      << reorder.stats.rescued_panels << " rescued panel(s)\n";
   return 0;
 }
 

@@ -17,13 +17,20 @@ namespace jigsaw {
 /// Invokes fn(i) for i in [0, n), possibly in parallel. fn must be safe to
 /// run concurrently for distinct i (no shared mutable state without
 /// synchronization). Exceptions thrown by fn in parallel regions terminate;
-/// callers validate inputs before entering the loop.
+/// callers validate inputs before entering the loop. max_threads > 0 caps
+/// the worker count (0 keeps the OpenMP default).
 template <typename Fn>
-void parallel_for(std::int64_t n, Fn&& fn) {
+void parallel_for(std::int64_t n, Fn&& fn, int max_threads = 0) {
 #if defined(JIGSAW_HAVE_OPENMP)
+  if (max_threads > 0) {
+#pragma omp parallel for schedule(dynamic, 1) num_threads(max_threads)
+    for (std::int64_t i = 0; i < n; ++i) fn(i);
+  } else {
 #pragma omp parallel for schedule(dynamic, 1)
-  for (std::int64_t i = 0; i < n; ++i) fn(i);
+    for (std::int64_t i = 0; i < n; ++i) fn(i);
+  }
 #else
+  (void)max_threads;
   for (std::int64_t i = 0; i < n; ++i) fn(i);
 #endif
 }

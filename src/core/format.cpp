@@ -119,7 +119,9 @@ JigsawFormat JigsawFormat::build(const DenseMatrix<fp16_t>& a,
         JIGSAW_CHECK_MSG(ok,
                          "reordered tile violates 2:4 — reorder bug (panel "
                              << p << ", slice " << s << ", pair " << pair
-                             << ")");
+                             << ", planner failure="
+                             << to_string(panel.failure)
+                             << (panel.rescued ? ", rescued" : "") << ")");
         // Z-shaped swizzle: the two 16x8 halves of the compressed tile are
         // stored contiguously, row-major within each half.
         for (int blk = 0; blk < 2; ++blk) {

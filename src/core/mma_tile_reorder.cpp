@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <bit>
-#include <unordered_map>
 #include <vector>
 
 #include "common/error.hpp"
@@ -13,15 +12,9 @@ namespace {
 
 constexpr std::uint16_t kFullSet = 0xffffu;
 
-/// One compatible column group of four tile positions.
-struct Quad {
-  std::uint16_t set = 0;                 // bit per tile position
-  std::array<std::uint8_t, 4> pos{};     // the four positions, ascending
-};
-
 /// A candidate solution: four pairwise-disjoint quads covering the tile.
 struct QuadCover {
-  std::array<Quad, 4> quads;
+  std::array<MmaTileQuad, 4> quads;
 };
 
 /// True when the real positions in `set` have pairwise-distinct residues
@@ -46,7 +39,8 @@ MmaTilePermutation make_permutation(const QuadCover& cover, int real_columns,
   MmaTilePermutation p;
   int out = 0;
   for (int q = 0; q < 4; ++q) {
-    const Quad& quad = cover.quads[static_cast<std::size_t>(kPairs[pairing][q])];
+    const MmaTileQuad& quad =
+        cover.quads[static_cast<std::size_t>(kPairs[pairing][q])];
     for (int j = 0; j < 4; ++j) p.perm[out++] = quad.pos[j];
   }
   bool identity = true;
@@ -74,30 +68,100 @@ MmaTilePermutation best_pairing(const QuadCover& cover, int real_columns) {
   return best;
 }
 
-/// Randomized greedy exact-cover attempt over the quad list.
-std::optional<QuadCover> greedy_cover(const std::vector<Quad>& quads,
-                                      Rng& rng) {
+/// Randomized greedy exact-cover attempt over the quad list. `candidates`
+/// is caller-provided scratch (reused across attempts to avoid one heap
+/// allocation per attempt — the planner makes tens of thousands of them).
+/// Randomized greedy exact-cover attempt over the quad list. The candidate
+/// set lives in a bitset over quad indices (`cand`, caller scratch);
+/// filtering a pick's conflicts is four word-wide andnots against the
+/// position index instead of a pass over every surviving candidate. The
+/// pick sequence is identical to the original candidate-vector walk: bits
+/// ascend in quad-index order, exactly like the stable in-place filter kept
+/// the vector sorted, so rng draws map to the same quads.
+std::optional<QuadCover> greedy_cover(const MmaTileQuadList& quads,
+                                      const std::uint64_t* pos_bits,
+                                      std::uint32_t words, Rng& rng,
+                                      std::vector<std::uint64_t>& cand) {
   QuadCover cover;
   std::uint16_t used = 0;
-  // Candidate indices still disjoint from the chosen set.
-  std::vector<std::uint32_t> candidates(quads.size());
-  for (std::uint32_t i = 0; i < quads.size(); ++i) candidates[i] = i;
+  const std::uint32_t n = static_cast<std::uint32_t>(quads.size());
+  cand.assign(words, ~0ull);
+  if (n % 64 != 0 && words > 0) cand[words - 1] = (1ull << (n % 64)) - 1;
+  std::uint32_t count = n;
 
   for (int chosen = 0; chosen < 4; ++chosen) {
-    if (candidates.empty()) return std::nullopt;
-    const std::uint32_t pick = static_cast<std::uint32_t>(
-        rng.next_below(candidates.size()));
-    const Quad& q = quads[candidates[pick]];
+    if (count == 0) return std::nullopt;
+    std::uint64_t pick = rng.next_below(count);
+    std::uint32_t w = 0;
+    for (;;) {
+      const std::uint32_t pc =
+          static_cast<std::uint32_t>(std::popcount(cand[w]));
+      if (pick < pc) break;
+      pick -= pc;
+      ++w;
+    }
+    std::uint64_t word = cand[w];
+    for (; pick > 0; --pick) word &= word - 1;
+    const std::uint32_t idx =
+        w * 64 + static_cast<std::uint32_t>(std::countr_zero(word));
+    const MmaTileQuad& q = quads[idx];
     cover.quads[static_cast<std::size_t>(chosen)] = q;
     used |= q.set;
-    // Filter candidates in place.
-    std::size_t w = 0;
-    for (const std::uint32_t idx : candidates) {
-      if ((quads[idx].set & used) == 0) candidates[w++] = idx;
+    const std::uint64_t* const r0 =
+        &pos_bits[static_cast<std::size_t>(q.pos[0]) * words];
+    const std::uint64_t* const r1 =
+        &pos_bits[static_cast<std::size_t>(q.pos[1]) * words];
+    const std::uint64_t* const r2 =
+        &pos_bits[static_cast<std::size_t>(q.pos[2]) * words];
+    const std::uint64_t* const r3 =
+        &pos_bits[static_cast<std::size_t>(q.pos[3]) * words];
+    count = 0;
+    for (std::uint32_t k = 0; k < words; ++k) {
+      cand[k] &= ~(r0[k] | r1[k] | r2[k] | r3[k]);
+      count += static_cast<std::uint32_t>(std::popcount(cand[k]));
     }
-    candidates.resize(w);
   }
   return used == kFullSet ? std::optional<QuadCover>(cover) : std::nullopt;
+}
+
+/// Direct-indexed replacement of the pair-search octet hash map: slot
+/// [octet] holds a version stamp plus the (i, j) quad-index pair that first
+/// formed that eight-column group. Version stamping makes per-search reset
+/// O(1); the table is 64 Ki * 8 B = 512 KiB of thread-local scratch.
+struct OctetTable {
+  std::vector<std::uint64_t> slots;  // (version << 48) | (i << 24) | j
+  /// One presence bit per octet (8 KiB — L1-resident). Nearly every pair
+  /// probe is answered here; the 512 KiB slot table is touched only on
+  /// actual complement hits and first-time stores.
+  std::vector<std::uint64_t> seen;
+  std::uint32_t version = 0;
+
+  std::uint64_t tag() const { return static_cast<std::uint64_t>(version) << 48; }
+
+  void begin_search() {
+    if (slots.empty()) slots.assign(1u << 16, 0);
+    seen.assign((1u << 16) / 64, 0);
+    if (++version > 0xffffu) {
+      std::fill(slots.begin(), slots.end(), 0);
+      version = 1;
+    }
+  }
+};
+
+struct SearchScratch {
+  OctetTable octets;
+  std::vector<std::uint64_t> greedy_candidates;  // bitset over quad indices
+  std::vector<std::uint16_t> sets;  // contiguous copy of quad sets
+  MmaTileQuadList quads;            // storage for the plain entry point
+  /// Quad-index bitsets shared by the greedy and pair phases: row p marks
+  /// the quads that contain position p (16 rows of `words` words each).
+  std::vector<std::uint64_t> pos_bits;
+  std::vector<std::uint64_t> conflict;  // per-i union of four pos_bits rows
+};
+
+SearchScratch& scratch() {
+  thread_local SearchScratch s;
+  return s;
 }
 
 }  // namespace
@@ -116,6 +180,46 @@ bool quad_compatible(std::uint16_t a, std::uint16_t b, std::uint16_t c,
     fours |= carry2;
   }
   return static_cast<std::uint16_t>(fours | (twos & ones)) == 0;
+}
+
+void enumerate_compatible_quads(std::span<const std::uint16_t> col_masks,
+                                MmaTileQuadList& out) {
+  JIGSAW_CHECK(col_masks.size() == kMmaTile);
+  out.clear();
+  // Lines 2-8 of Algorithm 1. The triple test prunes the innermost loop:
+  // once three columns put three nonzeros in some row, no fourth column can
+  // fix it, so every w is skipped. Accepted quads (and their order) are
+  // exactly those of the plain four-nested-loop enumeration.
+  for (int i = 0; i < kMmaTile; ++i) {
+    const std::uint16_t mi = col_masks[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < kMmaTile; ++j) {
+      const std::uint16_t mj = col_masks[static_cast<std::size_t>(j)];
+      const std::uint16_t ones2 = mi ^ mj;
+      const std::uint16_t twos2 = mi & mj;
+      for (int k = j + 1; k < kMmaTile; ++k) {
+        const std::uint16_t mk = col_masks[static_cast<std::size_t>(k)];
+        const std::uint16_t carry3 = ones2 & mk;
+        if (twos2 & carry3) continue;  // some row already at three
+        const std::uint16_t ones3 = ones2 ^ mk;
+        const std::uint16_t twos3 = twos2 ^ carry3;
+        if (ones3 & twos3) continue;  // some row already at three
+        for (int w = k + 1; w < kMmaTile; ++w) {
+          const std::uint16_t mw = col_masks[static_cast<std::size_t>(w)];
+          const std::uint16_t carry4 = ones3 & mw;
+          if ((twos3 & carry4) | (static_cast<std::uint16_t>(ones3 ^ mw) &
+                                  static_cast<std::uint16_t>(twos3 ^ carry4))) {
+            continue;  // count reached three or four in some row
+          }
+          MmaTileQuad q;
+          q.set = static_cast<std::uint16_t>((1u << i) | (1u << j) |
+                                             (1u << k) | (1u << w));
+          q.pos = {static_cast<std::uint8_t>(i), static_cast<std::uint8_t>(j),
+                   static_cast<std::uint8_t>(k), static_cast<std::uint8_t>(w)};
+          out.push_back(q);
+        }
+      }
+    }
+  }
 }
 
 bool tile_satisfies_two_four(std::span<const std::uint16_t> masks) {
@@ -191,13 +295,15 @@ MmaTilePermutation two_per_group_permutation(int real_columns) {
   return p;
 }
 
-MmaTileSearchResult reorder_mma_tile(std::span<const std::uint16_t> col_masks,
-                                     int real_columns,
-                                     const MmaTileSearchOptions& options,
-                                     Rng& rng) {
+MmaTileSearchResult reorder_mma_tile_ex(
+    std::span<const std::uint16_t> col_masks, int real_columns,
+    const MmaTileSearchOptions& options, Rng& rng, MmaTileSearchIO& io) {
   JIGSAW_CHECK(col_masks.size() == kMmaTile);
   JIGSAW_CHECK(real_columns >= 0 && real_columns <= kMmaTile);
+  JIGSAW_CHECK(io.quads != nullptr);
   MmaTileSearchResult result;
+  io.enumerated_fresh = false;
+  if (io.stats) ++io.stats->searches;
 
   // Fast path: the tile already satisfies 2:4 in its current order.
   if (tile_satisfies_two_four(col_masks)) {
@@ -206,6 +312,7 @@ MmaTileSearchResult reorder_mma_tile(std::span<const std::uint16_t> col_masks,
     p.is_identity = true;
     p.bank_conflict_free = true;  // positions 0..7 span all residues
     result.permutation = p;
+    if (io.stats) ++io.stats->identity_hits;
     return result;
   }
 
@@ -229,36 +336,32 @@ MmaTileSearchResult reorder_mma_tile(std::span<const std::uint16_t> col_masks,
       }
     }
     result.evict_position = victim;
+    result.infeasible_row = true;
+    if (io.stats) ++io.stats->infeasible_rows;
     return result;
   }
 
-  // Line 2-8 of Algorithm 1: enumerate all compatible four-column groups.
-  std::vector<Quad> quads;
-  quads.reserve(512);
-  std::array<std::uint32_t, kMmaTile> freq{};
-  for (int i = 0; i < kMmaTile; ++i) {
-    for (int j = i + 1; j < kMmaTile; ++j) {
-      for (int k = j + 1; k < kMmaTile; ++k) {
-        for (int w = k + 1; w < kMmaTile; ++w) {
-          if (!quad_compatible(col_masks[i], col_masks[j], col_masks[k],
-                               col_masks[w])) {
-            continue;
-          }
-          Quad q;
-          q.set = static_cast<std::uint16_t>((1u << i) | (1u << j) |
-                                             (1u << k) | (1u << w));
-          q.pos = {static_cast<std::uint8_t>(i), static_cast<std::uint8_t>(j),
-                   static_cast<std::uint8_t>(k), static_cast<std::uint8_t>(w)};
-          quads.push_back(q);
-          ++freq[i];
-          ++freq[j];
-          ++freq[k];
-          ++freq[w];
-        }
+  // Lines 2-8 of Algorithm 1: the compatible four-column groups. The list
+  // is a pure function of the masks, so an incrementally-maintained or
+  // memoized copy (io.quads_ready / io.provider) substitutes bit-exactly.
+  MmaTileQuadList& quads = *io.quads;
+  if (!io.quads_ready) {
+    if (!(io.provider && io.provider(col_masks, quads))) {
+      enumerate_compatible_quads(col_masks, quads);
+      io.enumerated_fresh = true;
+      if (io.stats) {
+        ++io.stats->fresh_enumerations;
+        io.stats->quads_enumerated += quads.size();
       }
     }
+    io.quads_ready = true;
   }
   result.compatible_quads = static_cast<std::uint32_t>(quads.size());
+
+  std::array<std::uint32_t, kMmaTile> freq{};
+  for (const MmaTileQuad& q : quads) {
+    for (const std::uint8_t p : q.pos) ++freq[p];
+  }
 
   const auto least_frequent_real = [&]() {
     int best = 0;
@@ -276,12 +379,28 @@ MmaTileSearchResult reorder_mma_tile(std::span<const std::uint16_t> col_masks,
     }
   }
 
+  SearchScratch& sc = scratch();
   std::optional<MmaTilePermutation> fallback;
+  const std::uint32_t n = static_cast<std::uint32_t>(quads.size());
+  sc.sets.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) sc.sets[i] = quads[i].set;
+  const std::uint16_t* const sets = sc.sets.data();
+  const std::uint32_t words = (n + 63) / 64;
+  sc.pos_bits.assign(static_cast<std::size_t>(words) * kMmaTile, 0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (const std::uint8_t p : quads[i].pos) {
+      sc.pos_bits[static_cast<std::size_t>(p) * words + i / 64] |=
+          1ull << (i % 64);
+    }
+  }
+  const std::uint64_t* const pos_bits = sc.pos_bits.data();
 
   // Randomized greedy exact-cover attempts (cheap; succeeds with high
   // probability whenever compatible groups are plentiful).
   for (int attempt = 0; attempt < options.greedy_attempts; ++attempt) {
-    if (auto cover = greedy_cover(quads, rng)) {
+    if (io.stats) ++io.stats->greedy_attempts;
+    if (auto cover =
+            greedy_cover(quads, pos_bits, words, rng, sc.greedy_candidates)) {
       MmaTilePermutation p = best_pairing(*cover, real_columns);
       if (p.bank_conflict_free || !options.bank_conflict_aware) {
         result.permutation = p;
@@ -293,40 +412,88 @@ MmaTileSearchResult reorder_mma_tile(std::span<const std::uint16_t> col_masks,
 
   // Lines 9-17: bidirectional search. Disjoint quad pairs form
   // eight-column groups; a group whose complement was already formed
-  // yields a full cover.
-  std::unordered_map<std::uint16_t, std::pair<std::uint32_t, std::uint32_t>>
-      octets;
-  octets.reserve(1024);
+  // yields a full cover. The octet table replaces the original hash map
+  // with direct indexing (keep-first insertion semantics preserved), which
+  // is where the bulk of the planning time used to go.
+  sc.octets.begin_search();
+  const std::uint64_t vtag = sc.octets.tag();
+  std::uint64_t* const slots = sc.octets.slots.data();
+  std::uint64_t* const seen = sc.octets.seen.data();
+
+  // Roughly three of four pairs overlap and contribute nothing but an
+  // iteration count; the position bitsets let the scan enumerate only the
+  // disjoint partners of quad i and account for the skipped pairs
+  // arithmetically. A pair's ordinal in the original (i, j) scan is
+  // base_i + (j - i), so the budget checks (and the mid-scan tightening)
+  // cut off at exactly the same pair as the plain doubly-nested loop.
+  sc.conflict.resize(words);
+  std::uint64_t* const conflict = sc.conflict.data();
+
   std::uint64_t iterations = 0;
   std::uint64_t budget = options.max_pair_iterations;
-  for (std::uint32_t i = 0; i < quads.size() && iterations < budget; ++i) {
-    for (std::uint32_t j = i + 1; j < quads.size() && iterations < budget;
-         ++j) {
-      ++iterations;
-      if (quads[i].set & quads[j].set) continue;
-      const std::uint16_t octet =
-          static_cast<std::uint16_t>(quads[i].set | quads[j].set);
-      const std::uint16_t complement =
-          static_cast<std::uint16_t>(octet ^ kFullSet);
-      if (const auto it = octets.find(complement); it != octets.end()) {
-        QuadCover cover{{quads[it->second.first], quads[it->second.second],
-                         quads[i], quads[j]}};
-        MmaTilePermutation p = best_pairing(cover, real_columns);
-        if (p.bank_conflict_free || !options.bank_conflict_aware) {
-          result.permutation = p;
-          return result;
+  for (std::uint32_t i = 0; i < n && iterations < budget; ++i) {
+    const std::uint16_t si = sets[i];
+    const std::uint64_t base = iterations;
+    const std::uint64_t rem = n - 1 - i;
+    const std::uint64_t* const r0 =
+        &sc.pos_bits[static_cast<std::size_t>(quads[i].pos[0]) * words];
+    const std::uint64_t* const r1 =
+        &sc.pos_bits[static_cast<std::size_t>(quads[i].pos[1]) * words];
+    const std::uint64_t* const r2 =
+        &sc.pos_bits[static_cast<std::size_t>(quads[i].pos[2]) * words];
+    const std::uint64_t* const r3 =
+        &sc.pos_bits[static_cast<std::size_t>(quads[i].pos[3]) * words];
+    for (std::uint32_t w = 0; w < words; ++w) {
+      conflict[w] = r0[w] | r1[w] | r2[w] | r3[w];
+    }
+    bool stop = false;
+    const std::uint32_t w_first = (i + 1) / 64;
+    for (std::uint32_t w = w_first; w < words && !stop; ++w) {
+      std::uint64_t avail = ~conflict[w];
+      if (w == w_first && (i + 1) % 64 != 0) avail &= ~0ull << ((i + 1) % 64);
+      if (w == words - 1 && n % 64 != 0) avail &= (1ull << (n % 64)) - 1;
+      while (avail) {
+        const std::uint32_t j =
+            w * 64 + static_cast<std::uint32_t>(std::countr_zero(avail));
+        avail &= avail - 1;
+        const std::uint64_t ord = base + (j - i);
+        if (ord > budget) {
+          stop = true;
+          break;
         }
-        if (!fallback) {
-          fallback = p;
-          // Keep looking for a conflict-free scheme, but with a tighter
-          // budget now that correctness is already assured.
-          budget = std::min(budget,
-                            iterations + options.conflict_free_search_budget);
+        const std::uint16_t octet = static_cast<std::uint16_t>(si | sets[j]);
+        const std::uint16_t complement =
+            static_cast<std::uint16_t>(octet ^ kFullSet);
+        if ((seen[complement >> 6] >> (complement & 63)) & 1) {
+          const std::uint64_t hit = slots[complement];
+          const std::uint32_t pi =
+              static_cast<std::uint32_t>((hit >> 24) & 0xffffffu);
+          const std::uint32_t pj = static_cast<std::uint32_t>(hit & 0xffffffu);
+          QuadCover cover{{quads[pi], quads[pj], quads[i], quads[j]}};
+          MmaTilePermutation p = best_pairing(cover, real_columns);
+          if (p.bank_conflict_free || !options.bank_conflict_aware) {
+            if (io.stats) io.stats->pair_iterations += ord;
+            result.permutation = p;
+            return result;
+          }
+          if (!fallback) {
+            fallback = p;
+            // Keep looking for a conflict-free scheme, but with a tighter
+            // budget now that correctness is already assured.
+            budget =
+                std::min(budget, ord + options.conflict_free_search_budget);
+          }
+        }
+        std::uint64_t& sw = seen[octet >> 6];
+        if (!((sw >> (octet & 63)) & 1)) {
+          sw |= 1ull << (octet & 63);
+          slots[octet] = vtag | (static_cast<std::uint64_t>(i) << 24) | j;
         }
       }
-      octets.emplace(octet, std::make_pair(i, j));
     }
+    iterations = std::min(base + rem, budget);
   }
+  if (io.stats) io.stats->pair_iterations += iterations;
 
   if (fallback) {
     result.permutation = *fallback;
@@ -334,6 +501,15 @@ MmaTileSearchResult reorder_mma_tile(std::span<const std::uint16_t> col_masks,
   }
   result.evict_position = least_frequent_real();
   return result;
+}
+
+MmaTileSearchResult reorder_mma_tile(std::span<const std::uint16_t> col_masks,
+                                     int real_columns,
+                                     const MmaTileSearchOptions& options,
+                                     Rng& rng) {
+  MmaTileSearchIO io;
+  io.quads = &scratch().quads;
+  return reorder_mma_tile_ex(col_masks, real_columns, options, rng, io);
 }
 
 }  // namespace jigsaw::core

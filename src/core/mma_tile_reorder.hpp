@@ -17,12 +17,21 @@
 // search still runs when greedy fails). Among valid solutions, schemes
 // whose eight-column groups span all eight shared-memory bank residues are
 // preferred, implementing the conflict-aware selection of §3.4.1.
+//
+// The extended entry point reorder_mma_tile_ex lets the planner share the
+// quad enumeration across retries and matrices (incremental reorder-retry
+// and the tile-search memo cache): the quad list is a deterministic,
+// rng-free function of the masks, so substituting a precomputed copy is
+// bit-exact, while the greedy/pair phases always run so the per-panel rng
+// stream advances exactly as in a from-scratch search.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <span>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "core/tile_config.hpp"
@@ -61,12 +70,68 @@ struct MmaTileSearchResult {
   int evict_position = -1;
   /// Number of compatible four-column groups found (diagnostic).
   std::uint32_t compatible_quads = 0;
+  /// True when the failure is structural: some row carries more than eight
+  /// nonzeros across the 16 columns, so no permutation of this window can
+  /// comply (at most two per aligned group times four groups).
+  bool infeasible_row = false;
+};
+
+/// One compatible column group of four tile positions. `pos` holds the four
+/// positions ascending; `set` is the same information as a bitmask.
+struct MmaTileQuad {
+  std::uint16_t set = 0;
+  std::array<std::uint8_t, 4> pos{};
+};
+
+/// Compatible quads of one tile, in enumeration order (ascending
+/// lexicographic (i,j,k,w) position tuples).
+using MmaTileQuadList = std::vector<MmaTileQuad>;
+
+/// Aggregate counters of the search phases (filled by reorder_mma_tile_ex
+/// when a stats sink is provided; all counters are cumulative adds).
+struct MmaTileSearchStats {
+  std::uint64_t searches = 0;
+  std::uint64_t identity_hits = 0;
+  std::uint64_t infeasible_rows = 0;
+  std::uint64_t fresh_enumerations = 0;
+  std::uint64_t quads_enumerated = 0;
+  std::uint64_t greedy_attempts = 0;
+  std::uint64_t pair_iterations = 0;
+};
+
+/// In/out channel of reorder_mma_tile_ex.
+struct MmaTileSearchIO {
+  /// Quad list storage. When `quads_ready` is true on entry, `*quads` must
+  /// hold exactly what enumerate_compatible_quads would produce for the
+  /// masks (e.g. maintained incrementally across an eviction); the search
+  /// then skips the enumeration. When false, the search fills `*quads`
+  /// (via `provider` or a fresh enumeration) and sets `quads_ready` if the
+  /// search reached the enumeration phase at all.
+  MmaTileQuadList* quads = nullptr;
+  bool quads_ready = false;
+  /// Optional external source of the quad list (the memo cache). Called at
+  /// most once, only when the search needs quads and `quads_ready` was
+  /// false; must either fill the list exactly as
+  /// enumerate_compatible_quads would and return true, or return false.
+  std::function<bool(std::span<const std::uint16_t>, MmaTileQuadList&)>
+      provider;
+  /// Set by the search when it ran a fresh enumeration (so the caller can
+  /// publish the list to the memo cache). False on provider/incremental
+  /// supplied lists and on early-out paths.
+  bool enumerated_fresh = false;
+  MmaTileSearchStats* stats = nullptr;
 };
 
 /// Checks whether four column masks form a compatible column group: no row
 /// with three or more nonzeros across the four columns.
 bool quad_compatible(std::uint16_t a, std::uint16_t b, std::uint16_t c,
                      std::uint16_t d);
+
+/// Enumerates every compatible four-column group of the tile in ascending
+/// lexicographic position order — the canonical quad list all search paths
+/// agree on. Clears `out` first.
+void enumerate_compatible_quads(std::span<const std::uint16_t> col_masks,
+                                MmaTileQuadList& out);
 
 /// Runs Algorithm 1 on one slice. `col_masks` holds exactly 16 entries
 /// (bit r = nonzero in row r); virtual padding columns must be 0.
@@ -76,6 +141,12 @@ MmaTileSearchResult reorder_mma_tile(std::span<const std::uint16_t> col_masks,
                                      int real_columns,
                                      const MmaTileSearchOptions& options,
                                      Rng& rng);
+
+/// Extended form: identical decisions and rng consumption as
+/// reorder_mma_tile, plus quad-list reuse and phase counters via `io`.
+MmaTileSearchResult reorder_mma_tile_ex(
+    std::span<const std::uint16_t> col_masks, int real_columns,
+    const MmaTileSearchOptions& options, Rng& rng, MmaTileSearchIO& io);
 
 /// Builds the guaranteed-success permutation that places at most two real
 /// columns in each four-column group (used by the tail-splitting fallback;

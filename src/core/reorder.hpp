@@ -14,6 +14,14 @@
 // A matrix "reorders successfully" in the paper's §4.3 sense when no panel
 // grew beyond the original (16-aligned) column count and no severe retry
 // (tail splitting) was needed.
+//
+// Planner fast path: per-panel column bitmasks are extracted once from a
+// CSR pass (instead of rescanning the dense array per window and retry),
+// the reorder-retry maintains the quad enumeration incrementally across
+// evictions, and repeated tile patterns reuse their enumeration through the
+// two-level memo cache (core/tile_search_cache.hpp). All of it is bit-exact
+// with a from-scratch plan for a fixed seed; the feature toggles below
+// exist so the equivalence tests can prove that.
 #pragma once
 
 #include <cstdint>
@@ -37,7 +45,70 @@ struct ReorderOptions {
   /// are treated like zero columns. Used by the hybrid extension (§4.7)
   /// to route dense or ultra-sparse columns to other compute units.
   std::function<bool(std::size_t panel, std::uint32_t column)> column_filter;
+
+  /// Reuse quad enumerations of repeated tile patterns through the
+  /// process-wide two-level memo cache. Bit-exact on or off.
+  bool use_memo_cache = true;
+  /// Maintain the quad list incrementally across reorder-retry evictions
+  /// instead of re-enumerating C(16,4) groups. Bit-exact on or off.
+  bool use_incremental_retry = true;
+  /// When a panel's layout grows past the original K, re-plan it up to
+  /// this many times from deterministically shuffled live-column orders
+  /// and keep the first order that fits (panels that planned fine are
+  /// never touched, so successful plans stay bit-identical). 0 disables.
+  int rescue_attempts = 6;
+  /// Cap on planning worker threads (0 = the OpenMP default). Plans are
+  /// identical for every thread count; the cap exists for tests and for
+  /// embedding the planner in already-parallel callers.
+  int max_threads = 0;
 };
+
+/// Per-phase planning counters and timings, aggregated over all panels
+/// (seconds are summed across workers, i.e. CPU-time-like).
+struct PlanStats {
+  std::uint64_t panels_planned = 0;
+  std::uint64_t mask_words_built = 0;     ///< per-column slice masks extracted
+  std::uint64_t tile_searches = 0;        ///< Algorithm 1 invocations
+  std::uint64_t identity_tiles = 0;       ///< identity fast-path hits
+  std::uint64_t infeasible_rows = 0;      ///< row-overload early-outs
+  std::uint64_t fresh_enumerations = 0;   ///< full C(16,4) enumerations
+  std::uint64_t quads_enumerated = 0;     ///< quads from fresh enumerations
+  std::uint64_t incremental_updates = 0;  ///< eviction events applied to lists
+  std::uint64_t cache_lookups = 0;        ///< memo-cache probes
+  std::uint64_t cache_hits = 0;           ///< memo-cache hits (both levels)
+  std::uint64_t greedy_attempts = 0;      ///< randomized exact-cover tries
+  std::uint64_t pair_iterations = 0;      ///< bidirectional-search iterations
+  std::uint64_t evictions = 0;            ///< reorder-retry column moves
+  std::uint64_t rescued_panels = 0;       ///< failing panels fixed by rescue
+  std::uint64_t rescue_attempts_run = 0;  ///< shuffled re-plans executed
+  double mask_seconds = 0.0;    ///< time extracting panel mask tables
+  double search_seconds = 0.0;  ///< time in the per-window searches
+  double total_seconds = 0.0;   ///< end-to-end wall time of the plan
+
+  double cache_hit_rate() const {
+    return cache_lookups == 0
+               ? 0.0
+               : static_cast<double>(cache_hits) /
+                     static_cast<double>(cache_lookups);
+  }
+  /// Accumulates `other` into this (timings add; used per panel).
+  void merge(const PlanStats& other);
+};
+
+/// Why a panel left the fast SpTC layout (diagnostic; kNone on success).
+enum class PanelFailure : std::uint8_t {
+  kNone = 0,
+  /// Some 16-row slice had a row with > 8 nonzeros in every tried window:
+  /// structurally impossible to satisfy 2:4, whatever the permutation.
+  kInfeasibleRow,
+  /// The per-tile eviction budget ran out before a feasible window formed.
+  kRetryExhausted,
+  /// The trailing < 16-column window could not be reordered (no eviction
+  /// possible there) and fell back to splitting.
+  kTailSplit,
+};
+
+const char* to_string(PanelFailure f);
 
 /// One reordered column tile of a panel: 16 column slots, the leading
 /// `col_count` of which are real columns col_idx[col_begin .. col_begin +
@@ -58,6 +129,12 @@ struct PanelReorder {
   std::uint32_t zero_columns = 0;  ///< all-zero columns skipped
   std::uint32_t evictions = 0;     ///< reorder-retry column moves
   bool used_split_fallback = false;
+  /// First failure cause observed while planning this panel (kNone when
+  /// the panel reordered cleanly or was rescued).
+  PanelFailure failure = PanelFailure::kNone;
+  /// True when the panel initially grew past the original K but a
+  /// shuffled re-plan (ReorderOptions::rescue_attempts) fixed it.
+  bool rescued = false;
 
   /// Columns after padding every tile to 16 — the panel's effective K.
   std::uint32_t padded_cols() const {
@@ -71,6 +148,7 @@ struct ReorderResult {
   std::size_t rows = 0;
   std::size_t cols = 0;
   std::vector<PanelReorder> panels;
+  PlanStats stats;
 
   /// §4.3 success: every panel kept K no bigger than the (16-aligned)
   /// original and no tail splitting was required.
@@ -83,12 +161,17 @@ struct ReorderResult {
   double identity_fraction() const;
   /// Fraction of slices whose permutation is bank-conflict-free.
   double conflict_free_fraction() const;
+  /// Panels whose final layout exceeds the 16-aligned original K.
+  std::uint64_t failed_panels() const;
+  /// Panels whose recorded failure cause is `f` (kNone counts successes).
+  std::uint64_t failure_count(PanelFailure f) const;
 };
 
 /// Runs the multi-granularity sparsity reorder. Rows are processed in
 /// BLOCK_TILE panels (the final panel may be shorter; it is handled as a
-/// zero-padded full panel). Deterministic for a fixed seed. Panels are
-/// processed in parallel.
+/// zero-padded full panel). Deterministic for a fixed seed — independent of
+/// thread count, memo-cache state, and the incremental-retry toggle.
+/// Panels are processed in parallel.
 ReorderResult multi_granularity_reorder(const DenseMatrix<fp16_t>& a,
                                         const ReorderOptions& options = {});
 
@@ -97,5 +180,13 @@ ReorderResult multi_granularity_reorder(const DenseMatrix<fp16_t>& a,
 std::array<std::uint16_t, kMmaTile> slice_column_masks(
     const DenseMatrix<fp16_t>& a, std::size_t row_begin,
     std::span<const std::uint32_t> columns);
+
+/// Order-sensitive FNV-1a fingerprint of the plan content: shape, tile
+/// config, per-panel col_idx / eviction / split bookkeeping, and every
+/// slice permutation. Diagnostic fields (stats, failure reasons, rescue
+/// flags) are excluded, so the fingerprint is comparable across planner
+/// generations; the equivalence tests pin plans against golden values
+/// captured from the pre-fast-path planner.
+std::uint64_t plan_fingerprint(const ReorderResult& r);
 
 }  // namespace jigsaw::core

@@ -1,0 +1,266 @@
+#include "core/tile_search_cache.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace jigsaw::core {
+
+namespace {
+
+/// Canonical key: the 16 masks sorted ascending (the multiset).
+struct CanonKey {
+  std::array<std::uint16_t, kMmaTile> masks{};
+  bool operator==(const CanonKey&) const = default;
+};
+
+struct CanonKeyHash {
+  std::size_t operator()(const CanonKey& k) const {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const std::uint16_t m : k.masks) {
+      h ^= m;
+      h *= 0x100000001b3ull;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Quads in canonical position space, as position-set bitmasks only (the
+/// ascending positions are recoverable from the set bits), in canonical
+/// enumeration order.
+using CanonQuads = std::vector<std::uint16_t>;
+
+/// The sorting permutation: canon_to_orig[q] = original position of the
+/// q-th canonical (sorted) mask. Ties sort by original position, making the
+/// permutation deterministic; equal masks are interchangeable, so any tie
+/// order reproduces the same quad list after remapping.
+struct Canonicalizer {
+  CanonKey key;
+  std::array<std::uint8_t, kMmaTile> canon_to_orig{};
+  std::array<std::uint8_t, kMmaTile> orig_to_canon{};
+
+  explicit Canonicalizer(std::span<const std::uint16_t> col_masks) {
+    JIGSAW_ASSERT(col_masks.size() == kMmaTile);
+    std::array<std::uint8_t, kMmaTile> idx;
+    for (int p = 0; p < kMmaTile; ++p) idx[p] = static_cast<std::uint8_t>(p);
+    std::sort(idx.begin(), idx.end(), [&](std::uint8_t x, std::uint8_t y) {
+      return col_masks[x] != col_masks[y] ? col_masks[x] < col_masks[y]
+                                          : x < y;
+    });
+    canon_to_orig = idx;
+    for (int q = 0; q < kMmaTile; ++q) {
+      key.masks[static_cast<std::size_t>(q)] = col_masks[idx[q]];
+      orig_to_canon[idx[q]] = static_cast<std::uint8_t>(q);
+    }
+  }
+};
+
+/// Remaps a position-set bitmask through a 16-way position map.
+std::uint16_t remap_set(std::uint16_t set,
+                        const std::array<std::uint8_t, kMmaTile>& map) {
+  std::uint16_t out = 0;
+  while (set) {
+    const int p = std::countr_zero(set);
+    set = static_cast<std::uint16_t>(set & (set - 1));
+    out |= static_cast<std::uint16_t>(1u << map[static_cast<std::size_t>(p)]);
+  }
+  return out;
+}
+
+/// Byte-indexed remap tables for one position map: remap(set) =
+/// lo[set & 0xff] | hi[set >> 8]. Built in O(256) by dynamic programming
+/// (each byte value extends the value with its lowest bit cleared).
+struct ByteRemap {
+  std::array<std::uint16_t, 256> lo{};
+  std::array<std::uint16_t, 256> hi{};
+
+  explicit ByteRemap(const std::array<std::uint8_t, kMmaTile>& map) {
+    for (int b = 1; b < 256; ++b) {
+      const int p = std::countr_zero(static_cast<unsigned>(b));
+      lo[static_cast<std::size_t>(b)] = static_cast<std::uint16_t>(
+          lo[static_cast<std::size_t>(b & (b - 1))] |
+          (1u << map[static_cast<std::size_t>(p)]));
+      hi[static_cast<std::size_t>(b)] = static_cast<std::uint16_t>(
+          hi[static_cast<std::size_t>(b & (b - 1))] |
+          (1u << map[static_cast<std::size_t>(p + 8)]));
+    }
+  }
+
+  std::uint16_t operator()(std::uint16_t set) const {
+    return static_cast<std::uint16_t>(lo[set & 0xff] | hi[set >> 8]);
+  }
+};
+
+/// Bit-reversal of a 16-bit mask (bit p -> bit 15 - p).
+std::uint16_t rev16(std::uint16_t m) {
+  static const auto kRevByte = [] {
+    std::array<std::uint8_t, 256> t{};
+    for (int b = 0; b < 256; ++b) {
+      int r = 0;
+      for (int bit = 0; bit < 8; ++bit) r |= ((b >> bit) & 1) << (7 - bit);
+      t[static_cast<std::size_t>(b)] = static_cast<std::uint8_t>(r);
+    }
+    return t;
+  }();
+  return static_cast<std::uint16_t>((kRevByte[m & 0xff] << 8) |
+                                    kRevByte[m >> 8]);
+}
+
+/// Rebuilds a full quad (ascending positions) from a position-set bitmask.
+MmaTileQuad quad_from_set(std::uint16_t set) {
+  MmaTileQuad q;
+  q.set = set;
+  std::uint16_t rest = set;
+  for (int j = 0; j < 4; ++j) {
+    const int p = std::countr_zero(rest);
+    rest = static_cast<std::uint16_t>(rest & (rest - 1));
+    q.pos[static_cast<std::size_t>(j)] = static_cast<std::uint8_t>(p);
+  }
+  return q;
+}
+
+/// Converts a canonical-space entry back to the original position space in
+/// enumeration order: remap every quad, then sort into the (i,j,k,w) order
+/// a fresh enumeration emits. For equal-size position sets, ascending
+/// lexicographic tuple order equals descending integer order of the
+/// bit-reversed mask (the smallest differing position is the highest
+/// differing reversed bit, owned by the lex-smaller set), so the sort runs
+/// on packed 32-bit keys instead of tuple comparisons.
+void reconstruct(const CanonQuads& canon,
+                 const std::array<std::uint8_t, kMmaTile>& canon_to_orig,
+                 MmaTileQuadList& out) {
+  const ByteRemap remap(canon_to_orig);
+  thread_local std::vector<std::uint32_t> keys;
+  keys.clear();
+  keys.reserve(canon.size());
+  for (const std::uint16_t set : canon) {
+    const std::uint16_t m = remap(set);
+    keys.push_back((static_cast<std::uint32_t>(rev16(m)) << 16) | m);
+  }
+  std::sort(keys.begin(), keys.end(), std::greater<std::uint32_t>());
+  out.clear();
+  out.reserve(keys.size());
+  for (const std::uint32_t k : keys) {
+    out.push_back(quad_from_set(static_cast<std::uint16_t>(k & 0xffffu)));
+  }
+}
+
+// Size caps. Entries hold up to C(16,4) = 1820 sets (3.6 KiB); the caps
+// bound the worst case to ~2 MiB per thread and ~30 MiB shared. When a
+// level is full an arbitrary resident entry is replaced (unordered_map
+// begin() — effectively pseudo-random), which keeps hot recurring patterns
+// resident with high probability and needs no LRU bookkeeping.
+constexpr std::size_t kL1Cap = 512;
+constexpr std::size_t kL2ShardCap = 512;
+constexpr std::size_t kL2Shards = 16;
+
+using CacheMap = std::unordered_map<CanonKey, CanonQuads, CanonKeyHash>;
+
+struct Shard {
+  mutable std::mutex mu;
+  CacheMap map;
+};
+
+std::array<Shard, kL2Shards>& shards() {
+  static std::array<Shard, kL2Shards> s;
+  return s;
+}
+
+Shard& shard_for(const CanonKey& key) {
+  return shards()[CanonKeyHash{}(key) % kL2Shards];
+}
+
+std::atomic<std::uint64_t> g_epoch{1};
+
+struct ThreadLevel {
+  CacheMap map;
+  std::uint64_t epoch = 0;
+};
+
+ThreadLevel& thread_level() {
+  thread_local ThreadLevel level;
+  const std::uint64_t now = g_epoch.load(std::memory_order_acquire);
+  if (level.epoch != now) {
+    level.map.clear();
+    level.epoch = now;
+  }
+  return level;
+}
+
+void insert_capped(CacheMap& map, std::size_t cap, const CanonKey& key,
+                   CanonQuads value) {
+  if (map.size() >= cap) map.erase(map.begin());
+  map.emplace(key, std::move(value));
+}
+
+}  // namespace
+
+TileSearchCache& TileSearchCache::instance() {
+  static TileSearchCache cache;
+  return cache;
+}
+
+TileCacheHit TileSearchCache::lookup(std::span<const std::uint16_t> col_masks,
+                                     MmaTileQuadList& out) {
+  const Canonicalizer canon(col_masks);
+  ThreadLevel& l1 = thread_level();
+  if (const auto it = l1.map.find(canon.key); it != l1.map.end()) {
+    reconstruct(it->second, canon.canon_to_orig, out);
+    return TileCacheHit::kThreadLocal;
+  }
+  Shard& shard = shard_for(canon.key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.map.find(canon.key);
+    if (it == shard.map.end()) return TileCacheHit::kMiss;
+    insert_capped(l1.map, kL1Cap, canon.key, it->second);
+    reconstruct(it->second, canon.canon_to_orig, out);
+  }
+  return TileCacheHit::kShared;
+}
+
+void TileSearchCache::publish(std::span<const std::uint16_t> col_masks,
+                              const MmaTileQuadList& quads) {
+  const Canonicalizer canon(col_masks);
+  CanonQuads value;
+  value.reserve(quads.size());
+  for (const MmaTileQuad& q : quads) {
+    value.push_back(remap_set(q.set, canon.orig_to_canon));
+  }
+  // Deterministic storage order (not required for correctness — lookups
+  // re-sort after remapping — but keeps the entry bytes independent of
+  // which window published first). Publishes go to the shared level only;
+  // the thread-local level fills lazily on shared hits, so patterns that
+  // never recur cost one insert instead of two.
+  std::sort(value.begin(), value.end());
+  Shard& shard = shard_for(canon.key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.map.find(canon.key) == shard.map.end()) {
+    insert_capped(shard.map, kL2ShardCap, canon.key, std::move(value));
+  }
+}
+
+void TileSearchCache::clear() {
+  for (Shard& shard : shards()) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+  }
+  g_epoch.fetch_add(1, std::memory_order_release);
+}
+
+std::size_t TileSearchCache::shared_entries() const {
+  std::size_t total = 0;
+  for (Shard& shard : shards()) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+}  // namespace jigsaw::core
