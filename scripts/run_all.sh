@@ -18,7 +18,18 @@ for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   echo "===== $(basename "$b") =====" | tee -a bench_output.txt
   extra_args=()
-  # The planner benchmark also refreshes the tracked JSON baseline.
+  # The planner and SpMM benchmarks also refresh their tracked JSON
+  # baselines (BENCH_reorder.json / BENCH_spmm.json); spmm_throughput
+  # refuses --json outright from a non-Release build.
   [ "$(basename "$b")" = reorder_throughput ] && extra_args=(--json)
+  [ "$(basename "$b")" = spmm_throughput ] && extra_args=(--json)
   "$b" "${extra_args[@]}" 2>&1 | tee -a bench_output.txt
 done
+
+# Profile smoke: the observability pipeline must produce a valid Chrome
+# trace with spans from every stage (reorder/format/kernel) on a generated
+# 80%-sparse matrix.
+build/tools/jigsaw profile --rows 256 --cols 256 --sparsity 0.8 \
+  --trace profile_trace.json > profile_output.txt
+python3 -c "import json; json.load(open('profile_trace.json'))" \
+  2>/dev/null || echo "warning: profile_trace.json is not valid JSON"

@@ -1,5 +1,6 @@
 #include "cli/cli.hpp"
 
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
@@ -15,6 +16,8 @@
 #include "matrix/reference.hpp"
 #include "matrix/two_four.hpp"
 #include "matrix/vector_sparse.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace jigsaw::cli {
 
@@ -48,6 +51,15 @@ commands:
 
   bench <a.mtx> [--n 256] [--seed 1]
       Run every kernel on the same problem and print the comparison.
+
+  profile [a.mtx] [--rows 512 --cols 512 --sparsity 0.8 --vector-width 4]
+          [--n 256] [--seed 1] [--trace out.json] [--all-metrics]
+      Drive the full pipeline (reorder -> format -> serialize roundtrip ->
+      kernel cost V0..V4 -> compute -> hybrid -> checked) with tracing and
+      metrics enabled, then print the metrics summary. Without an input
+      file a vector-sparse matrix is generated from the --rows/--cols
+      flags. --trace writes a Chrome trace-event JSON (chrome://tracing,
+      Perfetto). --all-metrics includes zero-valued instruments.
 )";
 
 DenseMatrix<fp16_t> random_rhs(std::size_t k, std::size_t n,
@@ -343,6 +355,104 @@ int cmd_bench(const Args& args, std::ostream& out) {
   return 0;
 }
 
+int cmd_profile(const Args& args, std::ostream& out) {
+  fail_on_unknown_flags(args, {"rows", "cols", "sparsity", "vector-width",
+                               "n", "seed", "trace", "all-metrics"});
+  JIGSAW_CHECK_MSG(args.positional().size() <= 2,
+                   "profile takes at most one input file\n" << kUsage);
+  const std::size_t n = args.value_size("n", 256);
+  const std::uint64_t seed = args.value_size("seed", 1);
+
+  DenseMatrix<fp16_t> a(1, 1);
+  if (args.positional().size() == 2) {
+    a = read_matrix_market_file(args.positional()[1]);
+    out << "profiling " << args.positional()[1] << ": " << a.rows() << " x "
+        << a.cols() << ", sparsity " << sparsity_of(a) * 100 << "%\n";
+  } else {
+    VectorSparseOptions o;
+    o.rows = args.value_size("rows", 512);
+    o.cols = args.value_size("cols", 512);
+    o.sparsity = args.value_double("sparsity", 0.8);
+    o.vector_width = args.value_size("vector-width", 4);
+    o.seed = seed;
+    a = VectorSparseGenerator::generate(o).values();
+    out << "profiling generated " << o.rows << " x " << o.cols
+        << ", sparsity " << sparsity_of(a) * 100 << "%, v="
+        << o.vector_width << "\n";
+  }
+
+  obs::reset_metrics();
+  obs::reset_trace();
+  obs::set_enabled(true);
+
+  gpusim::CostModel cm;
+  const auto b = random_rhs(a.cols(), n, seed);
+
+  // Reorder + format build, both metadata layouts.
+  core::ReorderOptions ropts;
+  const auto reorder = core::multi_granularity_reorder(a, ropts);
+  const auto naive =
+      core::JigsawFormat::build(a, reorder, core::MetadataLayout::kNaive);
+  const auto interleaved = core::JigsawFormat::build(
+      a, reorder, core::MetadataLayout::kInterleaved);
+
+  // Serialization roundtrip (in memory).
+  {
+    std::stringstream blob(std::ios::in | std::ios::out | std::ios::binary);
+    core::save_format(interleaved, blob);
+    auto loaded = core::load_format_checked(blob);
+    JIGSAW_CHECK_MSG(loaded.ok(), "roundtrip failed: "
+                                      << loaded.status().to_string());
+  }
+
+  // Cost walk for every kernel version of the ablation.
+  for (const auto version :
+       {core::KernelVersion::kV0, core::KernelVersion::kV1,
+        core::KernelVersion::kV2, core::KernelVersion::kV3,
+        core::KernelVersion::kV4}) {
+    const core::KernelFeatures feats =
+        core::KernelFeatures::for_version(version);
+    const auto& f = feats.interleaved_metadata ? interleaved : naive;
+    (void)core::jigsaw_cost(f, n, version, cm);
+  }
+
+  // Full V4 plan + run (tile tuning across BLOCK_TILE 16/32/64).
+  {
+    const auto plan = core::jigsaw_plan(a, {});
+    (void)core::jigsaw_run(plan, b, cm, {.compute_values = false});
+  }
+
+  // Functional compute + hybrid + checked tiers.
+  (void)core::jigsaw_compute(interleaved, b);
+  const auto hplan = core::hybrid_plan(a, {});
+  (void)core::hybrid_run(hplan, a, b, cm, {.compute_values = false});
+  {
+    auto checked = core::run_spmm_checked(a, b, cm);
+    JIGSAW_CHECK_MSG(checked.ok(), "checked run rejected: "
+                                       << checked.status().to_string());
+  }
+
+  obs::set_enabled(false);
+
+  const std::string trace_path = args.value("trace");
+  if (!trace_path.empty()) {
+    std::ofstream os(trace_path, std::ios::binary);
+    JIGSAW_CHECK_MSG(os.is_open(),
+                     "cannot open " << trace_path << " for writing");
+    obs::write_chrome_trace(os);
+    out << "wrote " << obs::trace_event_count() << " trace events to "
+        << trace_path;
+    if (obs::trace_dropped_count() > 0) {
+      out << " (" << obs::trace_dropped_count() << " dropped)";
+    }
+    out << "\n";
+  }
+
+  out << "\n--- metrics ---\n";
+  obs::write_metrics_summary(out, args.has_flag("all-metrics"));
+  return 0;
+}
+
 }  // namespace
 
 Args::Args(int argc, const char* const* argv)
@@ -429,6 +539,7 @@ int cli_main(const std::vector<std::string>& args, std::ostream& out,
     if (command == "run") return cmd_run(parsed, out);
     if (command == "validate") return cmd_validate(parsed, out);
     if (command == "bench") return cmd_bench(parsed, out);
+    if (command == "profile") return cmd_profile(parsed, out);
     if (command == "help" || command == "--help") {
       out << kUsage;
       return 0;

@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace jigsaw::core {
 
@@ -27,12 +29,30 @@ std::uint32_t panel_column_nnz(const DenseMatrix<fp16_t>& a,
   return nnz;
 }
 
+/// Publishes the degradation counters of one checked run. Called on exit
+/// (success or failure) so validation failures are visible too.
+void publish_degradation(const DegradationReport& deg) {
+  if (!obs::metrics_enabled()) return;
+  obs::add("checked.panels_total", static_cast<double>(deg.panels_total));
+  obs::add("checked.panels_degraded",
+           static_cast<double>(deg.panels_degraded));
+  obs::add("checked.fallback_dense_columns",
+           static_cast<double>(deg.fallback_dense_columns));
+  obs::add("checked.fallback_cuda_columns",
+           static_cast<double>(deg.fallback_cuda_columns));
+  obs::add("checked.validation_failures",
+           static_cast<double>(deg.validation_failures));
+  if (deg.panels_degraded > 0) obs::add("checked.degraded_runs");
+}
+
 }  // namespace
 
 Result<CheckedRunResult> run_spmm_checked(const DenseMatrix<fp16_t>& a,
                                           const DenseMatrix<fp16_t>& b,
                                           const gpusim::CostModel& cost_model,
                                           const CheckedRunOptions& options) {
+  JIGSAW_TRACE_SCOPE("checked", "checked.run");
+  obs::add("checked.runs");
   if (a.rows() == 0 || a.cols() == 0) {
     return Status(StatusCode::kInvalidArgument, "A is empty");
   }
@@ -72,6 +92,7 @@ Result<CheckedRunResult> run_spmm_checked(const DenseMatrix<fp16_t>& a,
     Status valid = format.validate();
     if (!valid.ok()) {
       ++deg.validation_failures;
+      publish_degradation(deg);
       return Status(StatusCode::kInternal,
                     "freshly built format failed validation: " +
                         valid.to_string());
@@ -79,6 +100,7 @@ Result<CheckedRunResult> run_spmm_checked(const DenseMatrix<fp16_t>& a,
     out.report = jigsaw_cost(format, b.cols(), KernelVersion::kV4,
                              cost_model, options.tuning);
     out.c = jigsaw_compute(format, b);
+    publish_degradation(deg);
     return out;
   }
 
@@ -128,6 +150,7 @@ Result<CheckedRunResult> run_spmm_checked(const DenseMatrix<fp16_t>& a,
   Status valid = plan.format.validate();
   if (!valid.ok()) {
     ++deg.validation_failures;
+    publish_degradation(deg);
     return Status(StatusCode::kInternal,
                   "degraded format failed validation: " + valid.to_string());
   }
@@ -138,14 +161,18 @@ Result<CheckedRunResult> run_spmm_checked(const DenseMatrix<fp16_t>& a,
   JIGSAW_CHECK_MSG(run.c.has_value(), "hybrid_run dropped the values");
   out.c = std::move(*run.c);
   out.report = std::move(run.report);
+  publish_degradation(deg);
   return out;
 }
 
 Result<DenseMatrix<float>> run_spmm_checked(const JigsawFormat& format,
                                             const DenseMatrix<fp16_t>& b,
                                             DegradationReport* report) {
+  JIGSAW_TRACE_SCOPE("checked", "checked.run");
+  obs::add("checked.runs");
   Status valid = format.validate();
   if (!valid.ok()) {
+    obs::add("checked.validation_failures");
     if (report != nullptr) {
       ++report->validation_failures;
       report->note("format rejected: " + valid.to_string());

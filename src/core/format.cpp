@@ -1,8 +1,11 @@
 #include "core/format.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace jigsaw::core {
 
@@ -51,6 +54,8 @@ std::size_t JigsawFormat::pair_metadata_index(std::uint32_t panel,
 JigsawFormat JigsawFormat::build(const DenseMatrix<fp16_t>& a,
                                  const ReorderResult& reorder,
                                  MetadataLayout layout) {
+  JIGSAW_TRACE_SCOPE("format", "format.build");
+  const auto t_start = std::chrono::steady_clock::now();
   JIGSAW_CHECK_MSG(a.rows() == reorder.rows && a.cols() == reorder.cols,
                    "reorder result does not match the matrix shape");
   JigsawFormat f;
@@ -162,6 +167,20 @@ JigsawFormat JigsawFormat::build(const DenseMatrix<fp16_t>& a,
         }
       }
     }
+  }
+
+  if (obs::metrics_enabled()) {
+    const Footprint fp = f.memory_footprint();
+    obs::add("format.builds");
+    obs::add("format.bytes_total", static_cast<double>(fp.total()));
+    obs::add("format.value_bytes", static_cast<double>(fp.values));
+    obs::add("format.metadata_bytes", static_cast<double>(fp.metadata));
+    obs::add("format.index_bytes",
+             static_cast<double>(fp.col_idx + fp.block_col_idx + fp.headers));
+    obs::observe("format.build_seconds",
+                 std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - t_start)
+                     .count());
   }
   return f;
 }

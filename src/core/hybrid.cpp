@@ -5,6 +5,8 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sptc/mma_sp.hpp"
 
 namespace jigsaw::core {
@@ -50,6 +52,7 @@ std::size_t HybridPlan::total_cuda_columns() const {
 
 HybridPlan hybrid_plan(const DenseMatrix<fp16_t>& a,
                        const HybridOptions& options) {
+  JIGSAW_TRACE_SCOPE("hybrid", "hybrid.plan");
   options.tile.validate();
   JIGSAW_CHECK_MSG(a.rows() > 0 && a.cols() > 0, "empty matrix");
 
@@ -92,6 +95,24 @@ HybridPlan hybrid_plan(const DenseMatrix<fp16_t>& a,
   };
   plan.reorder = multi_granularity_reorder(a, ropts);
   plan.format = JigsawFormat::build(a, plan.reorder);
+
+  if (obs::metrics_enabled()) {
+    // Routing decisions, one observation per panel so the histograms show
+    // the per-panel spread, not just the totals.
+    obs::add("hybrid.plans");
+    obs::add("hybrid.panels", static_cast<double>(plan.routing.size()));
+    obs::add("hybrid.dense_columns",
+             static_cast<double>(plan.total_dense_columns()));
+    obs::add("hybrid.cuda_columns",
+             static_cast<double>(plan.total_cuda_columns()));
+    for (const PanelRouting& r : plan.routing) {
+      obs::observe("hybrid.panel_dense_columns",
+                   static_cast<double>(r.dense_columns.size()));
+      obs::observe("hybrid.panel_cuda_columns",
+                   static_cast<double>(r.cuda_columns.size()));
+      obs::observe("hybrid.panel_cuda_nnz", static_cast<double>(r.cuda_nnz));
+    }
+  }
   return plan;
 }
 
@@ -100,6 +121,8 @@ HybridRunResult hybrid_run(const HybridPlan& plan,
                            const DenseMatrix<fp16_t>& b,
                            const gpusim::CostModel& cost_model,
                            const HybridRunOptions& options) {
+  JIGSAW_TRACE_SCOPE("hybrid", "hybrid.run");
+  obs::add("hybrid.runs");
   JIGSAW_CHECK(a.rows() == plan.format.rows() &&
                a.cols() == plan.format.cols());
   JIGSAW_CHECK(b.rows() == a.cols());

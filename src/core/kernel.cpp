@@ -6,6 +6,8 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sptc/ldmatrix.hpp"
 #include "sptc/shapes.hpp"
 #include "sptc/mma_sp.hpp"
@@ -35,6 +37,7 @@ KernelFeatures KernelFeatures::for_version(KernelVersion v) {
 
 JigsawPlan jigsaw_plan(const DenseMatrix<fp16_t>& a,
                        const JigsawPlanOptions& options) {
+  JIGSAW_TRACE_SCOPE("kernel", "kernel.plan");
   const auto t0 = std::chrono::steady_clock::now();
   const KernelFeatures feats = KernelFeatures::for_version(options.version);
 
@@ -64,6 +67,10 @@ JigsawPlan jigsaw_plan(const DenseMatrix<fp16_t>& a,
   plan.preprocess_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  if (obs::metrics_enabled()) {
+    obs::add("kernel.plans");
+    obs::observe("kernel.plan_seconds", plan.preprocess_seconds);
+  }
   return plan;
 }
 
@@ -92,6 +99,7 @@ float Epilogue::apply(float x, std::size_t row) const {
 DenseMatrix<float> jigsaw_compute(const JigsawFormat& f,
                                   const DenseMatrix<fp16_t>& b,
                                   const Epilogue& epilogue) {
+  JIGSAW_TRACE_SCOPE("kernel", "kernel.compute");
   JIGSAW_CHECK_MSG(f.cols() == b.rows(), "SpMM shape mismatch: A cols "
                                              << f.cols() << " vs B rows "
                                              << b.rows());
@@ -173,6 +181,8 @@ struct PanelWalk {
   gpusim::KernelCounters per_block;  ///< counters of one (panel, n-block)
   double b_gmem_bytes = 0;           ///< gathered B bytes per block
   double a_gmem_bytes = 0;           ///< format bytes per block
+  double mma_sp_issues = 0;          ///< mma.sp instructions per block
+  double ldmatrix_issues = 0;        ///< ldmatrix instructions per block
 };
 
 PanelWalk walk_panel(const JigsawFormat& f, std::uint32_t p,
@@ -219,6 +229,7 @@ PanelWalk walk_panel(const JigsawFormat& f, std::uint32_t p,
       // tile per warp; the layout is conflict-free by construction.
       c.smem_load_transactions += 4.0 * kWarpsPerBlock;
       c.instructions += 1.0 * kWarpsPerBlock;
+      walk.ldmatrix_issues += 1.0 * kWarpsPerBlock;
 
       // ---- B fragments: ldmatrix.x4 following the per-slice column
       // permutation; conflicts measured on the real addresses. All four
@@ -250,6 +261,7 @@ PanelWalk walk_panel(const JigsawFormat& f, std::uint32_t p,
       c.smem_load_transactions += dt * replicas;
       c.smem_bank_conflicts += dc * replicas;
       c.instructions += 2.0 * kWarpsPerBlock;  // the ldmatrix issues
+      walk.ldmatrix_issues += 2.0 * kWarpsPerBlock;
 
       // ---- Metadata loads (§3.4.3). Naive: one half-warp load plus
       // predication per (warp, slice, pair). Interleaved: one lane-indexed
@@ -269,6 +281,7 @@ PanelWalk walk_panel(const JigsawFormat& f, std::uint32_t p,
 
       // ---- The mma.sp issues: two per warp (16-wide warp N tile).
       c.instructions += 2.0 * kWarpsPerBlock;
+      walk.mma_sp_issues += 2.0 * kWarpsPerBlock;
       c.sptc_macs += 2.0 * kWarpsPerBlock *
                      static_cast<double>(sptc::kJigsawMma.macs());
     }
@@ -303,6 +316,7 @@ gpusim::KernelReport jigsaw_cost(const JigsawFormat& f, std::size_t n,
                                  const gpusim::CostModel& cost_model,
                                  const JigsawTuning& tuning,
                                  const Epilogue& epilogue) {
+  JIGSAW_TRACE_SCOPE("kernel", "kernel.cost_walk");
   const KernelFeatures feats = KernelFeatures::for_version(version);
   const gpusim::ArchSpec& arch = cost_model.arch();
   const std::size_t num_panels = f.panels().size();
@@ -316,12 +330,16 @@ gpusim::KernelReport jigsaw_cost(const JigsawFormat& f, std::size_t n,
 
   gpusim::KernelCounters total;
   double b_reads = 0, a_reads = 0;
+  double mma_sp_issues = 0, ldmatrix_issues = 0;
   for (const PanelWalk& w : walks) {
     gpusim::KernelCounters per_panel = w.per_block;
     per_panel.scale(static_cast<double>(nblocks_per_panel));
     total += per_panel;
     b_reads += w.b_gmem_bytes * static_cast<double>(nblocks_per_panel);
     a_reads += w.a_gmem_bytes * static_cast<double>(nblocks_per_panel);
+    mma_sp_issues += w.mma_sp_issues * static_cast<double>(nblocks_per_panel);
+    ldmatrix_issues +=
+        w.ldmatrix_issues * static_cast<double>(nblocks_per_panel);
   }
 
   // Global-memory reuse: each distinct B byte and each panel's format data
@@ -361,13 +379,30 @@ gpusim::KernelReport jigsaw_cost(const JigsawFormat& f, std::size_t n,
 
   std::string name = std::string("jigsaw_") + to_string(version) + "_bt" +
                      std::to_string(f.tile_config().block_tile_m);
-  return cost_model.estimate(std::move(name), total, launch);
+  gpusim::KernelReport report =
+      cost_model.estimate(std::move(name), total, launch);
+
+  if (obs::metrics_enabled()) {
+    // Per-version cost-walk counters: grid-wide totals of the structural
+    // quantities the ablation (§4.4) argues about.
+    const std::string prefix = std::string("kernel.") + to_string(version);
+    obs::add(prefix + ".cost_walks");
+    obs::add(prefix + ".mma_sp_issues", mma_sp_issues);
+    obs::add(prefix + ".ldmatrix_issues", ldmatrix_issues);
+    obs::add(prefix + ".smem_bank_conflicts", total.smem_bank_conflicts);
+    obs::add(prefix + ".stall_cycles", total.long_scoreboard_warp_cycles +
+                                           total.short_scoreboard_warp_cycles);
+    obs::add(prefix + ".dram_read_bytes", total.dram_read_bytes);
+    obs::gauge_set(prefix + ".duration_us", report.duration_us);
+  }
+  return report;
 }
 
 JigsawEventCost jigsaw_cost_event(const JigsawFormat& f, std::size_t n,
                                   KernelVersion version,
                                   const gpusim::CostModel& cost_model,
                                   const JigsawTuning& tuning) {
+  JIGSAW_TRACE_SCOPE("kernel", "kernel.cost_event");
   JigsawEventCost out;
   out.report = jigsaw_cost(f, n, version, cost_model, tuning);
   const gpusim::ArchSpec& arch = cost_model.arch();
@@ -424,6 +459,7 @@ JigsawRunResult jigsaw_run(const JigsawPlan& plan,
                            const DenseMatrix<fp16_t>& b,
                            const gpusim::CostModel& cost_model,
                            const JigsawRunOptions& options) {
+  JIGSAW_TRACE_SCOPE("kernel", "kernel.run");
   JIGSAW_CHECK_MSG(!plan.formats.empty(), "empty plan");
   JigsawRunResult result;
   std::size_t best = 0;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace jigsaw::core {
 
@@ -353,6 +354,10 @@ MmaTileSearchResult reorder_mma_tile_ex(
         ++io.stats->fresh_enumerations;
         io.stats->quads_enumerated += quads.size();
       }
+      // Fresh enumerations are rare once the memo cache warms up, so a
+      // histogram observation here stays off the hot path.
+      obs::observe("reorder.quads_per_enumeration",
+                   static_cast<double>(quads.size()));
     }
     io.quads_ready = true;
   }

@@ -8,6 +8,8 @@
 #include "common/parallel.hpp"
 #include "core/tile_search_cache.hpp"
 #include "matrix/csr.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace jigsaw::core {
 
@@ -309,6 +311,43 @@ PanelReorder plan_panel(const PanelMasks& pm, std::size_t total_cols,
   return panel;
 }
 
+/// Mirrors one plan's PlanStats into the metrics registry. The registry is
+/// the cross-plan aggregation point (counters accumulate over every plan of
+/// the process); the PlanStats struct stays the per-result record callers
+/// already consume.
+void publish_plan_stats(const PlanStats& s) {
+  if (!obs::metrics_enabled()) return;
+  obs::add("reorder.plans");
+  obs::add("reorder.panels_planned", static_cast<double>(s.panels_planned));
+  obs::add("reorder.mask_words_built",
+           static_cast<double>(s.mask_words_built));
+  obs::add("reorder.tile_searches", static_cast<double>(s.tile_searches));
+  obs::add("reorder.identity_tiles", static_cast<double>(s.identity_tiles));
+  obs::add("reorder.infeasible_rows",
+           static_cast<double>(s.infeasible_rows));
+  obs::add("reorder.fresh_enumerations",
+           static_cast<double>(s.fresh_enumerations));
+  obs::add("reorder.quads_enumerated",
+           static_cast<double>(s.quads_enumerated));
+  obs::add("reorder.incremental_updates",
+           static_cast<double>(s.incremental_updates));
+  obs::add("reorder.cache_lookups", static_cast<double>(s.cache_lookups));
+  obs::add("reorder.cache_hits", static_cast<double>(s.cache_hits));
+  obs::add("reorder.cache_misses",
+           static_cast<double>(s.cache_lookups - s.cache_hits));
+  obs::add("reorder.greedy_attempts",
+           static_cast<double>(s.greedy_attempts));
+  obs::add("reorder.pair_iterations",
+           static_cast<double>(s.pair_iterations));
+  obs::add("reorder.evictions", static_cast<double>(s.evictions));
+  obs::add("reorder.rescued_panels", static_cast<double>(s.rescued_panels));
+  obs::add("reorder.rescue_attempts",
+           static_cast<double>(s.rescue_attempts_run));
+  obs::observe("reorder.plan_seconds", s.total_seconds);
+  obs::observe("reorder.mask_seconds", s.mask_seconds);
+  obs::observe("reorder.search_seconds", s.search_seconds);
+}
+
 }  // namespace
 
 std::array<std::uint16_t, kMmaTile> slice_column_masks(
@@ -332,6 +371,7 @@ std::array<std::uint16_t, kMmaTile> slice_column_masks(
 
 ReorderResult multi_granularity_reorder(const DenseMatrix<fp16_t>& a,
                                         const ReorderOptions& options) {
+  JIGSAW_TRACE_SCOPE("reorder", "reorder.plan");
   const auto t_start = Clock::now();
   options.tile.validate();
   JIGSAW_CHECK_MSG(a.rows() > 0 && a.cols() > 0, "empty matrix");
@@ -361,6 +401,7 @@ ReorderResult multi_granularity_reorder(const DenseMatrix<fp16_t>& a,
   parallel_for(
       static_cast<std::int64_t>(num_panels),
       [&](std::int64_t pi) {
+        JIGSAW_TRACE_SCOPE("reorder", "reorder.panel");
         const std::size_t p = static_cast<std::size_t>(pi);
         const std::size_t row_begin = p * bt;
         const std::size_t row_end = std::min(row_begin + bt, a.rows());
@@ -441,6 +482,7 @@ ReorderResult multi_granularity_reorder(const DenseMatrix<fp16_t>& a,
 
   result.stats = total;
   result.stats.total_seconds = seconds_since(t_start);
+  publish_plan_stats(result.stats);
   return result;
 }
 

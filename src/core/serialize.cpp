@@ -10,6 +10,8 @@
 
 #include "common/checksum.hpp"
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace jigsaw::core {
 
@@ -235,17 +237,39 @@ class serialize_detail {
 };
 
 void save_format(const JigsawFormat& f, std::ostream& os) {
-  serialize_detail::save(f, os, BlobVersion::kV2);
+  save_format(f, os, BlobVersion::kV2);
 }
 
 void save_format(const JigsawFormat& f, std::ostream& os,
                  BlobVersion version) {
+  JIGSAW_TRACE_SCOPE("serialize", "format.save");
+  const auto before = os.tellp();
   serialize_detail::save(f, os, version);
+  if (obs::metrics_enabled()) {
+    obs::add("serialize.saves");
+    const auto after = os.tellp();
+    if (before != std::ostream::pos_type(-1) &&
+        after != std::ostream::pos_type(-1)) {
+      obs::add("serialize.bytes_written",
+               static_cast<double>(after - before));
+    }
+  }
 }
 
 Result<JigsawFormat> load_format_checked(std::istream& is) {
+  JIGSAW_TRACE_SCOPE("serialize", "format.load");
+  const auto before = is.tellg();
   JigsawFormat f;
   Status status = serialize_detail::load(is, f);
+  if (obs::metrics_enabled()) {
+    obs::add("serialize.loads");
+    if (!status.ok()) obs::add("serialize.load_failures");
+    const auto after = is.tellg();
+    if (before != std::istream::pos_type(-1) &&
+        after != std::istream::pos_type(-1) && after > before) {
+      obs::add("serialize.bytes_read", static_cast<double>(after - before));
+    }
+  }
   if (!status.ok()) return status;
   return f;
 }

@@ -9,10 +9,34 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace jigsaw::core {
 
 namespace {
+
+/// Hot-path instruments: resolved once, then a relaxed atomic + branch per
+/// call while disabled.
+obs::Counter& hits_l1_counter() {
+  static obs::Counter& c = obs::counter("tile_cache.hits_thread_local");
+  return c;
+}
+obs::Counter& hits_shared_counter() {
+  static obs::Counter& c = obs::counter("tile_cache.hits_shared");
+  return c;
+}
+obs::Counter& misses_counter() {
+  static obs::Counter& c = obs::counter("tile_cache.misses");
+  return c;
+}
+obs::Counter& publishes_counter() {
+  static obs::Counter& c = obs::counter("tile_cache.publishes");
+  return c;
+}
+obs::Counter& evictions_counter() {
+  static obs::Counter& c = obs::counter("tile_cache.evictions");
+  return c;
+}
 
 /// Canonical key: the 16 masks sorted ascending (the multiset).
 struct CanonKey {
@@ -195,7 +219,10 @@ ThreadLevel& thread_level() {
 
 void insert_capped(CacheMap& map, std::size_t cap, const CanonKey& key,
                    CanonQuads value) {
-  if (map.size() >= cap) map.erase(map.begin());
+  if (map.size() >= cap) {
+    map.erase(map.begin());
+    evictions_counter().add();
+  }
   map.emplace(key, std::move(value));
 }
 
@@ -212,16 +239,21 @@ TileCacheHit TileSearchCache::lookup(std::span<const std::uint16_t> col_masks,
   ThreadLevel& l1 = thread_level();
   if (const auto it = l1.map.find(canon.key); it != l1.map.end()) {
     reconstruct(it->second, canon.canon_to_orig, out);
+    hits_l1_counter().add();
     return TileCacheHit::kThreadLocal;
   }
   Shard& shard = shard_for(canon.key);
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     const auto it = shard.map.find(canon.key);
-    if (it == shard.map.end()) return TileCacheHit::kMiss;
+    if (it == shard.map.end()) {
+      misses_counter().add();
+      return TileCacheHit::kMiss;
+    }
     insert_capped(l1.map, kL1Cap, canon.key, it->second);
     reconstruct(it->second, canon.canon_to_orig, out);
   }
+  hits_shared_counter().add();
   return TileCacheHit::kShared;
 }
 
@@ -243,6 +275,7 @@ void TileSearchCache::publish(std::span<const std::uint16_t> col_masks,
   std::lock_guard<std::mutex> lock(shard.mu);
   if (shard.map.find(canon.key) == shard.map.end()) {
     insert_capped(shard.map, kL2ShardCap, canon.key, std::move(value));
+    publishes_counter().add();
   }
 }
 

@@ -1,0 +1,261 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "obs/trace.hpp"
+
+namespace jigsaw::obs {
+
+namespace {
+
+std::atomic<bool> g_metrics{false};
+
+void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+/// Bucket index for a sample: quarter-octave log scale over
+/// [2^-kOctaves/2, 2^kOctaves/2), bucket 0 for underflow (including
+/// non-positive values), the last bucket for overflow.
+int bucket_index(double v) {
+  constexpr int kHalfRange =
+      Histogram::kOctaves / 2 * Histogram::kSubBucketsPerOctave;  // 128
+  if (!(v > 0.0)) return 0;
+  const double e = std::floor(std::log2(v) *
+                              static_cast<double>(
+                                  Histogram::kSubBucketsPerOctave));
+  if (e < -kHalfRange) return 0;
+  if (e >= kHalfRange) return Histogram::kBuckets - 1;
+  return 1 + static_cast<int>(e) + kHalfRange;
+}
+
+/// Geometric midpoint of a regular bucket (1 .. kBuckets - 2).
+double bucket_midpoint(int idx) {
+  constexpr int kHalfRange =
+      Histogram::kOctaves / 2 * Histogram::kSubBucketsPerOctave;
+  const double e = static_cast<double>(idx - 1 - kHalfRange) + 0.5;
+  return std::exp2(e / static_cast<double>(Histogram::kSubBucketsPerOctave));
+}
+
+enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+struct Registry {
+  std::mutex mu;
+  // map keeps snapshots name-sorted for free; unique_ptr keeps instrument
+  // addresses stable across rehash-free inserts.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+  std::map<std::string, Kind, std::less<>> kinds;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: usable during static dtors
+  return *r;
+}
+
+void check_kind(Registry& r, std::string_view name, Kind kind) {
+  const auto it = r.kinds.find(name);
+  if (it == r.kinds.end()) {
+    r.kinds.emplace(std::string(name), kind);
+    return;
+  }
+  JIGSAW_CHECK_MSG(it->second == kind,
+                   "metric '" << std::string(name)
+                              << "' already registered as a different kind");
+}
+
+}  // namespace
+
+bool metrics_enabled() { return g_metrics.load(std::memory_order_relaxed); }
+
+void set_metrics_enabled(bool on) {
+  g_metrics.store(on, std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) {
+  set_metrics_enabled(on);
+  set_tracing_enabled(on);
+}
+
+void Histogram::observe(double v) {
+  if (!metrics_enabled()) return;
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+}
+
+double Histogram::min() const {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::percentile(double p) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the requested sample (nearest-rank on [0, n-1]).
+  const auto rank = static_cast<std::uint64_t>(
+      p * static_cast<double>(n - 1) + 0.5);
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen > rank) {
+      double v;
+      if (b == 0) {
+        v = min();  // underflow bucket: everything below the scale
+      } else if (b == kBuckets - 1) {
+        v = max();
+      } else {
+        v = bucket_midpoint(b);
+      }
+      return std::clamp(v, min(), max());
+    }
+  }
+  return max();
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+Counter& counter(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  check_kind(r, name, Kind::kCounter);
+  auto it = r.counters.find(name);
+  if (it == r.counters.end()) {
+    it = r.counters
+             .emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& gauge(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  check_kind(r, name, Kind::kGauge);
+  auto it = r.gauges.find(name);
+  if (it == r.gauges.end()) {
+    it = r.gauges.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& histogram(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  check_kind(r, name, Kind::kHistogram);
+  auto it = r.histograms.find(name);
+  if (it == r.histograms.end()) {
+    it = r.histograms
+             .emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+void add(std::string_view counter_name, double delta) {
+  if (!metrics_enabled()) return;
+  counter(counter_name).add(delta);
+}
+
+void gauge_set(std::string_view gauge_name, double value) {
+  if (!metrics_enabled()) return;
+  gauge(gauge_name).set(value);
+}
+
+void observe(std::string_view histogram_name, double value) {
+  if (!metrics_enabled()) return;
+  histogram(histogram_name).observe(value);
+}
+
+MetricsSnapshot metrics_snapshot() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  MetricsSnapshot snap;
+  snap.counters.reserve(r.counters.size());
+  for (const auto& [name, c] : r.counters) {
+    snap.counters.push_back({name, c->value()});
+  }
+  snap.gauges.reserve(r.gauges.size());
+  for (const auto& [name, g] : r.gauges) {
+    snap.gauges.push_back({name, g->value()});
+  }
+  snap.histograms.reserve(r.histograms.size());
+  for (const auto& [name, h] : r.histograms) {
+    MetricsSnapshot::HistogramSample s;
+    s.name = name;
+    s.count = h->count();
+    s.sum = h->sum();
+    s.min = h->min();
+    s.max = h->max();
+    s.p50 = h->percentile(0.50);
+    s.p90 = h->percentile(0.90);
+    s.p99 = h->percentile(0.99);
+    snap.histograms.push_back(std::move(s));
+  }
+  return snap;
+}
+
+void reset_metrics() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& [name, c] : r.counters) c->reset();
+  for (const auto& [name, g] : r.gauges) g->reset();
+  for (const auto& [name, h] : r.histograms) h->reset();
+}
+
+void write_metrics_summary(std::ostream& os, bool include_zero) {
+  const MetricsSnapshot snap = metrics_snapshot();
+  for (const auto& c : snap.counters) {
+    if (c.value == 0 && !include_zero) continue;
+    os << "counter   " << c.name << " = " << c.value << "\n";
+  }
+  for (const auto& g : snap.gauges) {
+    if (g.value == 0 && !include_zero) continue;
+    os << "gauge     " << g.name << " = " << g.value << "\n";
+  }
+  for (const auto& h : snap.histograms) {
+    if (h.count == 0 && !include_zero) continue;
+    os << "histogram " << h.name << ": count " << h.count << ", sum " << h.sum
+       << ", min " << h.min << ", p50 " << h.p50 << ", p90 " << h.p90
+       << ", p99 " << h.p99 << ", max " << h.max << "\n";
+  }
+}
+
+}  // namespace jigsaw::obs

@@ -1,0 +1,172 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+namespace jigsaw::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Cap per thread buffer; beyond it spans are counted as dropped instead
+/// of growing without bound (a forgotten enabled flag in a long-running
+/// server must not become an OOM).
+constexpr std::size_t kMaxEventsPerThread = 1u << 20;
+
+std::atomic<bool> g_tracing{false};
+std::atomic<std::uint64_t> g_dropped{0};
+
+Clock::time_point trace_epoch() {
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  std::uint32_t tid = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::uint32_t next_tid = 1;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: usable during static dtors
+  return *r;
+}
+
+/// The calling thread's buffer; registered (and kept alive by the
+/// registry) on first use.
+ThreadBuffer& thread_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> local = [] {
+    auto buffer = std::make_shared<ThreadBuffer>();
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    buffer->tid = r.next_tid++;
+    r.buffers.push_back(buffer);
+    return buffer;
+  }();
+  return *local;
+}
+
+/// JSON string escaping for span names (literals in practice, but the
+/// export must never emit invalid JSON whatever the caller passed).
+void write_escaped(std::ostream& os, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      const char* hex = "0123456789abcdef";
+      os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+    } else {
+      os << c;
+    }
+  }
+}
+
+}  // namespace
+
+bool tracing_enabled() {
+  return g_tracing.load(std::memory_order_relaxed);
+}
+
+void set_tracing_enabled(bool on) {
+  if (on) trace_epoch();  // pin the epoch before the first span
+  g_tracing.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t trace_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           trace_epoch())
+          .count());
+}
+
+void record_span(const char* category, const char* name,
+                 std::uint64_t start_ns, std::uint64_t duration_ns) {
+  ThreadBuffer& buffer = thread_buffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  if (buffer.events.size() >= kMaxEventsPerThread) {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buffer.events.push_back(
+      TraceEvent{category, name, start_ns, duration_ns, buffer.tid});
+}
+
+std::vector<TraceEvent> trace_snapshot() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    buffers = r.buffers;
+  }
+  std::vector<TraceEvent> out;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    out.insert(out.end(), buffer->events.begin(), buffer->events.end());
+  }
+  return out;
+}
+
+std::size_t trace_event_count() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    buffers = r.buffers;
+  }
+  std::size_t n = 0;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    n += buffer->events.size();
+  }
+  return n;
+}
+
+std::uint64_t trace_dropped_count() {
+  return g_dropped.load(std::memory_order_relaxed);
+}
+
+void reset_trace() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    buffers = r.buffers;
+  }
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    buffer->events.clear();
+  }
+  g_dropped.store(0, std::memory_order_relaxed);
+}
+
+void write_chrome_trace(std::ostream& os) {
+  const std::vector<TraceEvent> events = trace_snapshot();
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"";
+    write_escaped(os, e.name);
+    os << "\",\"cat\":\"";
+    write_escaped(os, e.category);
+    // Complete ("X") events; ts/dur in fractional microseconds.
+    os << "\",\"ph\":\"X\",\"ts\":" << static_cast<double>(e.start_ns) / 1e3
+       << ",\"dur\":" << static_cast<double>(e.duration_ns) / 1e3
+       << ",\"pid\":1,\"tid\":" << e.tid << "}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+}  // namespace jigsaw::obs

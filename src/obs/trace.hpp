@@ -1,0 +1,103 @@
+// Scoped-span tracing for the reorder -> format -> kernel pipeline.
+//
+// A span is an RAII scope (JIGSAW_TRACE_SCOPE) that records a complete
+// event {category, name, start, duration, thread} into a per-thread buffer;
+// buffers are aggregated on export into the Chrome trace-event JSON format,
+// readable in chrome://tracing and Perfetto (docs/OBSERVABILITY.md).
+//
+// Tracing is off by default. When disabled, a span costs one relaxed
+// atomic load and a branch — cheap enough to leave the instrumentation
+// compiled into the hot paths permanently (the disabled-mode overhead on
+// the planner benchmarks is within noise; tests/test_obs.cpp and
+// BENCH_reorder.json keep that honest).
+//
+// Thread model: each thread appends to its own buffer behind a per-buffer
+// mutex (uncontended except while an export snapshot runs). Buffers are
+// kept alive by the global registry past thread exit, so spans recorded by
+// short-lived OpenMP workers survive until the export.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace jigsaw::obs {
+
+/// One completed span. `name` and `category` point to static strings (the
+/// macro passes literals); timestamps are nanoseconds since the process
+/// trace epoch (first obs use).
+struct TraceEvent {
+  const char* category = nullptr;
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+  std::uint32_t tid = 0;  ///< small dense id assigned per recording thread
+};
+
+/// Master switch for span recording. Off by default.
+bool tracing_enabled();
+void set_tracing_enabled(bool on);
+
+/// Nanoseconds since the trace epoch (steady clock).
+std::uint64_t trace_now_ns();
+
+/// Records one complete span directly (the macro-less path; used for spans
+/// whose bounds are not a C++ scope).
+void record_span(const char* category, const char* name,
+                 std::uint64_t start_ns, std::uint64_t duration_ns);
+
+/// Snapshot of every recorded span across all threads, in recording order
+/// per thread. Does not clear the buffers.
+std::vector<TraceEvent> trace_snapshot();
+
+/// Spans recorded so far (cheap sum over buffers).
+std::size_t trace_event_count();
+
+/// Spans dropped because a thread buffer hit its cap.
+std::uint64_t trace_dropped_count();
+
+/// Clears every thread's span buffer (the enabled flag is untouched).
+void reset_trace();
+
+/// Writes the snapshot as Chrome trace-event JSON:
+///   {"traceEvents":[{"name":...,"cat":...,"ph":"X","ts":...,"dur":...,
+///     "pid":1,"tid":...}, ...],"displayTimeUnit":"ms"}
+/// ts/dur are microseconds (fractional). Valid JSON even when empty.
+void write_chrome_trace(std::ostream& os);
+
+/// RAII span: captures the start time at construction when tracing is
+/// enabled, records the complete event at destruction. A scope that
+/// straddles a set_tracing_enabled(false) still records (the decision is
+/// made once, at entry).
+class TraceScope {
+ public:
+  TraceScope(const char* category, const char* name)
+      : category_(category), name_(name), active_(tracing_enabled()) {
+    if (active_) start_ns_ = trace_now_ns();
+  }
+  ~TraceScope() {
+    if (active_) {
+      record_span(category_, name_, start_ns_, trace_now_ns() - start_ns_);
+    }
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  const char* category_;
+  const char* name_;
+  std::uint64_t start_ns_ = 0;
+  bool active_;
+};
+
+}  // namespace jigsaw::obs
+
+#define JIGSAW_OBS_CONCAT_IMPL(a, b) a##b
+#define JIGSAW_OBS_CONCAT(a, b) JIGSAW_OBS_CONCAT_IMPL(a, b)
+
+/// Opens a span covering the rest of the enclosing scope. Both arguments
+/// must be string literals (or otherwise outlive the export).
+#define JIGSAW_TRACE_SCOPE(category, name)                 \
+  ::jigsaw::obs::TraceScope JIGSAW_OBS_CONCAT(             \
+      jigsaw_trace_scope_, __LINE__)(category, name)

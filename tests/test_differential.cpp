@@ -1,0 +1,183 @@
+// Differential harness: every executable SpMM route must agree on the
+// same randomized inputs. For a sparsity sweep (70–98%) across vector
+// widths, seeds, and ragged shapes, the plain kernel (V0..V4), both
+// metadata layouts, the checked tier, and the hybrid router are all
+// compared against the double-precision dense reference — and against
+// each other, bitwise where the routes share the functional path. Unlike
+// the per-module tests this file exercises whole-pipeline disagreement:
+// a bug anywhere in reorder -> format -> kernel shows up as two routes
+// answering differently.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/checked.hpp"
+#include "core/hybrid.hpp"
+#include "core/kernel.hpp"
+#include "dlmc/suite.hpp"
+#include "matrix/reference.hpp"
+
+namespace jigsaw::core {
+namespace {
+
+struct SweepCase {
+  std::size_t m, k;
+  int sparsity_pct;
+  std::size_t v;
+  std::uint64_t seed;
+};
+
+/// Sparsity ladder 70..98 crossed with the paper's vector widths, plus a
+/// ragged non-multiple-of-tile shape per rung. Seeds vary per case so two
+/// rungs never see the same pattern.
+const std::vector<SweepCase>& sweep_cases() {
+  static const std::vector<SweepCase> kCases = {
+      {64, 128, 70, 2, 11},  {64, 128, 70, 4, 12},
+      {64, 128, 80, 2, 21},  {128, 256, 80, 4, 22},
+      {64, 128, 90, 8, 31},  {128, 256, 90, 4, 32},
+      {64, 128, 95, 2, 41},  {128, 256, 98, 8, 42},
+      {56, 100, 85, 2, 51},  {100, 130, 92, 4, 52},
+  };
+  return kCases;
+}
+
+constexpr std::size_t kN = 32;
+
+DenseMatrix<fp16_t> lhs_for(const SweepCase& c) {
+  return dlmc::make_lhs({c.m, c.k}, c.sparsity_pct / 100.0, c.v, c.seed)
+      .values();
+}
+
+std::string describe(const SweepCase& c) {
+  return std::to_string(c.m) + "x" + std::to_string(c.k) +
+         " sp=" + std::to_string(c.sparsity_pct) + " v=" +
+         std::to_string(c.v) + " seed=" + std::to_string(c.seed);
+}
+
+TEST(Differential, EveryKernelVersionMatchesDenseReference) {
+  const gpusim::CostModel cm;
+  for (const SweepCase& c : sweep_cases()) {
+    const auto a = lhs_for(c);
+    const auto b = dlmc::make_rhs(c.k, kN, c.seed);
+    const auto ref = reference_gemm(a, b);
+    for (const auto version :
+         {KernelVersion::kV0, KernelVersion::kV1, KernelVersion::kV2,
+          KernelVersion::kV3, KernelVersion::kV4}) {
+      JigsawPlanOptions po;
+      po.version = version;
+      const auto run = jigsaw_run(jigsaw_plan(a, po), b, cm);
+      ASSERT_TRUE(run.c.has_value());
+      EXPECT_TRUE(allclose(*run.c, ref, c.k))
+          << describe(c) << " " << to_string(version) << " max diff "
+          << max_abs_diff(*run.c, ref);
+    }
+  }
+}
+
+TEST(Differential, MetadataLayoutsAreBitwiseEquivalent) {
+  // The layout only changes how metadata words are stored, never which
+  // values multiply: the two functional results must be identical to the
+  // bit, and both within tolerance of the reference.
+  for (const SweepCase& c : sweep_cases()) {
+    const auto a = lhs_for(c);
+    const auto b = dlmc::make_rhs(c.k, kN, c.seed + 1000);
+    const auto ref = reference_gemm(a, b);
+    const auto reorder = multi_granularity_reorder(a);
+    const auto naive =
+        JigsawFormat::build(a, reorder, MetadataLayout::kNaive);
+    const auto interleaved =
+        JigsawFormat::build(a, reorder, MetadataLayout::kInterleaved);
+    const auto c_naive = jigsaw_compute(naive, b);
+    const auto c_interleaved = jigsaw_compute(interleaved, b);
+    EXPECT_TRUE(c_naive == c_interleaved) << describe(c);
+    EXPECT_TRUE(allclose(c_naive, ref, c.k))
+        << describe(c) << " max diff " << max_abs_diff(c_naive, ref);
+  }
+}
+
+TEST(Differential, CheckedTierMatchesDenseReference) {
+  // The checked tier may reroute failed panels through the hybrid pipes
+  // (common at the dense end of the sweep); whatever it absorbed, the
+  // answer must stay exact to within accumulation tolerance.
+  const gpusim::CostModel cm;
+  for (const SweepCase& c : sweep_cases()) {
+    const auto a = lhs_for(c);
+    const auto b = dlmc::make_rhs(c.k, kN, c.seed + 2000);
+    const auto ref = reference_gemm(a, b);
+    const auto result = run_spmm_checked(a, b, cm);
+    ASSERT_TRUE(result.ok()) << describe(c) << ": "
+                             << result.status().to_string();
+    const CheckedRunResult& run = result.value();
+    EXPECT_TRUE(allclose(run.c, ref, c.k))
+        << describe(c) << " max diff " << max_abs_diff(run.c, ref);
+    EXPECT_LE(run.degradation.panels_degraded,
+              run.degradation.panels_total);
+    EXPECT_EQ(run.degradation.validation_failures, 0u) << describe(c);
+  }
+}
+
+TEST(Differential, CheckedFormatPathIsBitwiseThePlainComputePath) {
+  // run_spmm_checked(format, b) is jigsaw_compute plus validation; when
+  // validation passes the numbers must be the very same.
+  for (const SweepCase& c : sweep_cases()) {
+    const auto a = lhs_for(c);
+    const auto b = dlmc::make_rhs(c.k, kN, c.seed + 3000);
+    const auto format =
+        JigsawFormat::build(a, multi_granularity_reorder(a));
+    DegradationReport report;
+    const auto checked = run_spmm_checked(format, b, &report);
+    ASSERT_TRUE(checked.ok()) << describe(c);
+    EXPECT_EQ(report.validation_failures, 0u);
+    EXPECT_TRUE(checked.value() == jigsaw_compute(format, b)) << describe(c);
+  }
+}
+
+TEST(Differential, HybridRouteMatchesReferenceAndIsThreadCountInvariant) {
+  // The hybrid router splits work across three pipes and the planner runs
+  // panel-parallel; neither the routing nor the accumulated C may depend
+  // on how many threads did the planning.
+  const gpusim::CostModel cm;
+  for (const SweepCase& c : sweep_cases()) {
+    const auto a = lhs_for(c);
+    const auto b = dlmc::make_rhs(c.k, kN, c.seed + 4000);
+    const auto ref = reference_gemm(a, b);
+
+    HybridOptions serial_opts;
+    serial_opts.reorder.max_threads = 1;
+    const auto serial_plan = hybrid_plan(a, serial_opts);
+    const auto serial = hybrid_run(serial_plan, a, b, cm);
+
+    HybridOptions parallel_opts;
+    parallel_opts.reorder.max_threads = 0;  // all available workers
+    const auto parallel_plan = hybrid_plan(a, parallel_opts);
+    const auto parallel = hybrid_run(parallel_plan, a, b, cm);
+
+    ASSERT_TRUE(serial.c.has_value());
+    ASSERT_TRUE(parallel.c.has_value());
+    EXPECT_TRUE(allclose(*serial.c, ref, c.k))
+        << describe(c) << " max diff " << max_abs_diff(*serial.c, ref);
+    EXPECT_TRUE(*serial.c == *parallel.c) << describe(c);
+    EXPECT_EQ(serial_plan.total_dense_columns(),
+              parallel_plan.total_dense_columns());
+    EXPECT_EQ(serial_plan.total_cuda_columns(),
+              parallel_plan.total_cuda_columns());
+  }
+}
+
+TEST(Differential, PlanIsReproducibleAcrossRepeatedCalls) {
+  // Same input, same options -> bit-identical plan and result, twice in a
+  // row (guards against hidden global state leaking between runs).
+  const gpusim::CostModel cm;
+  const SweepCase c{128, 256, 90, 4, 77};
+  const auto a = lhs_for(c);
+  const auto b = dlmc::make_rhs(c.k, kN, c.seed);
+  const auto first = jigsaw_run(jigsaw_plan(a, {}), b, cm);
+  const auto second = jigsaw_run(jigsaw_plan(a, {}), b, cm);
+  ASSERT_TRUE(first.c.has_value() && second.c.has_value());
+  EXPECT_TRUE(*first.c == *second.c);
+  EXPECT_EQ(first.selected_block_tile, second.selected_block_tile);
+}
+
+}  // namespace
+}  // namespace jigsaw::core

@@ -15,11 +15,22 @@
 // Everything is derived from --seed, so a failure replays exactly:
 //   fuzz_format --iters 300 --seed 7
 // A short run is registered as the ctest case `fuzz_format_short`.
+//
+// Corpus modes turn past fuzzer coverage into a tracked regression test:
+//   fuzz_format --write-corpus tests/corpus   # distill interesting mutants
+//   fuzz_format --corpus tests/corpus         # deterministic replay (ctest
+//                                             # case `fuzz_corpus_replay`)
+// Corpus files are named for their expected verdict: `ok_*` must load,
+// `reject_*` must be refused with a non-OK Status.
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "core/serialize.hpp"
@@ -42,20 +53,145 @@ jigsaw::core::JigsawFormat sample_format(std::uint64_t seed) {
       a, jigsaw::core::multi_granularity_reorder(a, opts));
 }
 
+jigsaw::Status load_status(const std::string& blob) {
+  std::istringstream is(blob, std::ios::binary);
+  return jigsaw::core::load_format_checked(is).status();
+}
+
+/// Distills the mutation space into a small committed corpus: the healthy
+/// blob plus the first mutant hitting each distinct rejection code, plus
+/// structural truncations (empty, header-only, one byte short). Everything
+/// derives from `seed`, so regenerating with the same seed is idempotent.
+int write_corpus(const std::filesystem::path& dir, std::uint64_t seed,
+                 std::uint64_t iters) {
+  namespace fs = std::filesystem;
+  fs::create_directories(dir);
+  const jigsaw::testing::FormatSurgeon surgeon(sample_format(seed));
+  const std::string healthy = surgeon.blob();
+
+  const auto dump = [&](const std::string& name, const std::string& bytes) {
+    std::ofstream os(dir / name, std::ios::binary);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!os) {
+      std::cerr << "FAIL: cannot write " << (dir / name).string() << "\n";
+      return false;
+    }
+    return true;
+  };
+
+  if (!dump("ok_healthy.bin", healthy)) return 1;
+  std::size_t written = 1;
+
+  // Structural edge cases the random mutator only hits by luck.
+  const std::vector<std::pair<std::string, std::string>> structural = {
+      {"reject_empty.bin", std::string()},
+      {"reject_header_only.bin", healthy.substr(0, std::min<std::size_t>(
+                                                       16, healthy.size()))},
+      {"reject_one_byte_short.bin", healthy.substr(0, healthy.size() - 1)},
+  };
+  for (const auto& [name, bytes] : structural) {
+    if (load_status(bytes).ok()) {
+      std::cerr << "FAIL: structural corpus candidate " << name
+                << " unexpectedly loads OK\n";
+      return 1;
+    }
+    if (!dump(name, bytes)) return 1;
+    ++written;
+  }
+
+  // One representative mutant per distinct rejection StatusCode.
+  bool have_code[16] = {};
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    jigsaw::Rng rng(jigsaw::mix_seed(seed, i + 1));
+    const std::string mutant = jigsaw::testing::random_mutation(healthy, rng);
+    if (mutant == healthy) continue;
+    const jigsaw::Status s = load_status(mutant);
+    if (s.ok()) {
+      std::cerr << "FAIL: iter " << i << ": corrupted blob accepted\n";
+      return 1;
+    }
+    const auto code = static_cast<std::size_t>(s.code()) & 0xf;
+    if (have_code[code]) continue;
+    have_code[code] = true;
+    const std::string name =
+        std::string("reject_") +
+        jigsaw::to_string(static_cast<jigsaw::StatusCode>(code)) + "_iter" +
+        std::to_string(i) + ".bin";
+    if (!dump(name, mutant)) return 1;
+    ++written;
+  }
+
+  std::cout << "fuzz_format: wrote " << written << " corpus files to "
+            << dir.string() << "\n";
+  return 0;
+}
+
+/// Replays every corpus file; the filename prefix encodes the verdict.
+int replay_corpus(const std::filesystem::path& dir) {
+  namespace fs = std::filesystem;
+  if (!fs::is_directory(dir)) {
+    std::cerr << "FAIL: corpus directory " << dir.string() << " not found\n";
+    return 1;
+  }
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::cerr << "FAIL: corpus directory " << dir.string() << " is empty\n";
+    return 1;
+  }
+
+  std::size_t checked = 0;
+  for (const fs::path& path : files) {
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const std::string blob = buf.str();
+    const std::string name = path.filename().string();
+    const jigsaw::Status s = load_status(blob);
+    if (name.rfind("ok_", 0) == 0 && !s.ok()) {
+      std::cerr << "FAIL: " << name << " must load but was rejected: "
+                << s.to_string() << "\n";
+      return 1;
+    }
+    if (name.rfind("reject_", 0) == 0 && s.ok()) {
+      std::cerr << "FAIL: " << name << " must be rejected but loaded OK\n";
+      return 1;
+    }
+    ++checked;
+  }
+  std::cout << "fuzz_format: replayed " << checked << " corpus files from "
+            << dir.string() << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::uint64_t iters = 300;
   std::uint64_t seed = 7;
+  std::string corpus_dir;
+  std::string write_corpus_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
       iters = std::stoull(argv[++i]);
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       seed = std::stoull(argv[++i]);
+    } else if (std::strcmp(argv[i], "--corpus") == 0 && i + 1 < argc) {
+      corpus_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--write-corpus") == 0 && i + 1 < argc) {
+      write_corpus_dir = argv[++i];
     } else {
-      std::cerr << "usage: fuzz_format [--iters N] [--seed S]\n";
+      std::cerr << "usage: fuzz_format [--iters N] [--seed S]"
+                   " [--corpus DIR | --write-corpus DIR]\n";
       return 2;
     }
+  }
+  if (!corpus_dir.empty()) return replay_corpus(corpus_dir);
+  if (!write_corpus_dir.empty()) {
+    return write_corpus(write_corpus_dir, seed, iters);
   }
 
   const jigsaw::testing::FormatSurgeon surgeon(sample_format(seed));
