@@ -1,0 +1,158 @@
+// Engine serving baseline (google-benchmark): the three latencies a serving
+// deployment cares about — cold compile (full reorder + format build + plan),
+// warm compile (plan-cache hit, no preprocessing), and concurrent submit
+// throughput on the engine's worker pool across worker counts. The tracked
+// BENCH_engine.json baseline records all three so cache or pool regressions
+// show up next to the kernel numbers in BENCH_spmm.json.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dlmc/suite.hpp"
+#include "engine/engine.hpp"
+
+namespace jigsaw {
+namespace {
+
+constexpr dlmc::Shape kShape{512, 1024};
+constexpr double kSparsity = 0.90;
+constexpr std::size_t kN = 64;
+
+DenseMatrix<fp16_t> make_rhs(std::uint64_t seed) {
+  DenseMatrix<fp16_t> b(kShape.k, kN);
+  Rng rng(mix_seed(seed, 0xe46));
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b.data()[i] = fp16_t(rng.uniform(-1.0f, 1.0f));
+  }
+  return b;
+}
+
+// Cold compile: every iteration pays the full pipeline (multi-granularity
+// reorder, format build, kernel plan). The cache is cleared outside the
+// timed region so only the compile itself is measured.
+void bench_engine_compile_cold(benchmark::State& state) {
+  const auto a = dlmc::make_lhs(kShape, kSparsity, 4);
+  Engine engine;
+  for (auto _ : state) {
+    state.PauseTiming();
+    engine.clear_cache();
+    state.ResumeTiming();
+    auto compiled = engine.compile(a.values());
+    if (!compiled.ok()) {
+      state.SkipWithError(compiled.status().to_string().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(compiled.value().get());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+// Warm compile: identical request, so every iteration is a plan-cache hit
+// returning the canonical artifact — this is the amortized §3.1 path.
+void bench_engine_compile_warm(benchmark::State& state) {
+  const auto a = dlmc::make_lhs(kShape, kSparsity, 4);
+  Engine engine;
+  const auto handle = engine.compile(a.values()).value();
+  for (auto _ : state) {
+    auto compiled = engine.compile(a.values());
+    if (!compiled.ok() || compiled.value().get() != handle.get()) {
+      state.SkipWithError("warm recompile missed the plan cache");
+      return;
+    }
+    benchmark::DoNotOptimize(compiled.value().get());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["hit_rate"] =
+      static_cast<double>(engine.cache_stats().hits) /
+      static_cast<double>(engine.cache_stats().hits +
+                          engine.cache_stats().misses);
+}
+
+// Submit throughput: a batch of distinct RHS matrices in flight at once on
+// the worker pool; items/s is requests per second at the given pool size.
+void bench_engine_submit(benchmark::State& state) {
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kBatch = 16;
+
+  const auto a = dlmc::make_lhs(kShape, kSparsity, 4);
+  EngineConfig config;
+  config.worker_threads = workers;
+  Engine engine(config);
+  const auto handle = engine.compile(a.values()).value();
+
+  std::vector<DenseMatrix<fp16_t>> batch;
+  batch.reserve(kBatch);
+  for (std::size_t i = 0; i < kBatch; ++i) batch.push_back(make_rhs(i));
+
+  for (auto _ : state) {
+    std::vector<std::future<Result<DenseMatrix<float>>>> inflight;
+    inflight.reserve(kBatch);
+    for (const auto& b : batch) inflight.push_back(engine.submit(handle, b));
+    for (auto& f : inflight) {
+      auto r = f.get();
+      if (!r.ok()) {
+        state.SkipWithError(r.status().to_string().c_str());
+        return;
+      }
+      benchmark::DoNotOptimize(r.value().data());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatch));
+  state.counters["workers"] = static_cast<double>(engine.worker_count());
+}
+
+}  // namespace
+}  // namespace jigsaw
+
+BENCHMARK(jigsaw::bench_engine_compile_cold)->Unit(benchmark::kMillisecond);
+BENCHMARK(jigsaw::bench_engine_compile_warm)->Unit(benchmark::kMicrosecond);
+// UseRealTime: the main thread blocks on futures while the pool works, so
+// CPU time would under-count — req/s must come from wall clock.
+BENCHMARK(jigsaw::bench_engine_submit)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->ArgName("workers")
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Custom main mirroring spmm_throughput: `--json` writes the tracked
+// baseline BENCH_engine.json via google-benchmark's own output flags, and
+// recording it from a build without NDEBUG is refused outright — the file
+// is committed, so a debug number would poison the tracked history.
+int main(int argc, char** argv) {
+  bool json = false;
+  for (int i = 0; i < argc; ++i) json |= std::strcmp(argv[i], "--json") == 0;
+#if !defined(NDEBUG)
+  if (json) {
+    std::fprintf(stderr,
+                 "error: refusing to write BENCH_engine.json from a build "
+                 "without NDEBUG; rebuild with -DCMAKE_BUILD_TYPE=Release\n");
+    return 1;
+  }
+#endif
+  jigsaw::bench::warn_if_debug_build();
+  std::vector<char*> args;
+  std::string out_flag = "--benchmark_out=BENCH_engine.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      args.push_back(out_flag.data());
+      args.push_back(fmt_flag.data());
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

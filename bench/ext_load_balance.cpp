@@ -28,7 +28,7 @@ void run() {
     for (const std::size_t v : {2u, 8u}) {
       const auto a = dlmc::make_lhs({1024, 1024}, s, v);
       for (const int bt : {16, 64}) {
-        core::JigsawPlanOptions po;
+        core::EngineOptions::Compile po;
         po.version = core::KernelVersion::kV3;
         po.block_tile = bt;
         const auto plan = core::jigsaw_plan(a.values(), po);

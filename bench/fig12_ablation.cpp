@@ -36,7 +36,7 @@ void run() {
     const auto a = dlmc::make_lhs(shape, sparsity, v);
     std::vector<core::JigsawPlan> plans;
     for (const auto version : versions) {
-      core::JigsawPlanOptions po;
+      core::EngineOptions::Compile po;
       po.version = version;
       po.block_tile = 64;  // v0..v3 only support BLOCK_TILE=64 (§4.4)
       plans.push_back(core::jigsaw_plan(a.values(), po));
@@ -66,7 +66,7 @@ void run() {
   const auto a = dlmc::make_lhs(probe, sparsity, v);
   std::vector<gpusim::KernelReport> reports;
   for (const auto version : versions) {
-    core::JigsawPlanOptions po;
+    core::EngineOptions::Compile po;
     po.version = version;
     po.block_tile = 64;
     const auto plan = core::jigsaw_plan(a.values(), po);

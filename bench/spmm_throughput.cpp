@@ -26,7 +26,7 @@ void bench_spmm(benchmark::State& state) {
   const auto a = dlmc::make_lhs(shape, sparsity, 4);
 
   // Preprocessing is amortized (§3.1): plan outside the timed loop.
-  core::JigsawPlanOptions popts;
+  core::EngineOptions::Compile popts;
   popts.version = version;
   const auto plan = core::jigsaw_plan(a.values(), popts);
 
@@ -37,7 +37,7 @@ void bench_spmm(benchmark::State& state) {
   }
 
   const gpusim::CostModel cm;
-  core::JigsawRunOptions ropts;
+  core::EngineOptions::Run ropts;
   ropts.compute_values = true;
   core::JigsawRunResult last;
   for (auto _ : state) {

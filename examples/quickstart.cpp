@@ -1,16 +1,17 @@
-// Quickstart: the complete Jigsaw workflow in ~60 lines.
+// Quickstart: the complete Jigsaw serving workflow in ~60 lines.
 //
 //   1. Generate (or bring) a vector-sparse weight matrix A.
-//   2. Preprocess once: multi-granularity reorder + reorder-aware format
-//      (jigsaw_plan). This is the one-time cost amortized over inferences.
-//   3. Execute SpMM against any dense activation matrix B (jigsaw_run):
-//      you get the exact numeric result plus a simulated A100 kernel
-//      report (duration, occupancy, per-resource breakdown).
+//   2. Compile it once through jigsaw::Engine — multi-granularity reorder,
+//      reorder-aware format, kernel plan and (if needed) hybrid routing
+//      all happen here, and the artifact lands in the engine's plan cache
+//      so an identical request never pays preprocessing again.
+//   3. Submit dense activation matrices B: each submit executes on the
+//      engine's worker pool and resolves to the exact numeric result.
 //
 // Build & run:  ./build/examples/quickstart
 #include <iostream>
 
-#include "core/kernel.hpp"
+#include "engine/engine.hpp"
 #include "matrix/reference.hpp"
 #include "matrix/vector_sparse.hpp"
 
@@ -29,36 +30,49 @@ int main() {
             << a.sparsity() * 100 << "%, vector width " << a.vector_width()
             << "\n";
 
-  // --- 2. One-time preprocessing (reorder + format, BLOCK_TILE tuning).
-  const core::JigsawPlan plan = core::jigsaw_plan(a.values());
-  std::cout << "preprocessing took " << plan.preprocess_seconds * 1e3
-            << " ms; reorder success: "
-            << (plan.reorders[0].success() ? "yes" : "no") << ", zero columns"
-            << " skipped per panel (BT=16): "
-            << plan.reorders[0].total_zero_columns() /
-                   plan.reorders[0].panels.size()
-            << "\n";
+  // --- 2. One-time compile through the engine. The default policy
+  // (kAuto -> kChecked) degrades gracefully if the reorder ever fails;
+  // errors come back as typed Status values, not exceptions.
+  Engine engine;
+  auto compiled = engine.compile(a.values());
+  if (!compiled.ok()) {
+    std::cerr << "compile failed: " << compiled.status().to_string() << "\n";
+    return 1;
+  }
+  const auto handle = compiled.value();
+  std::cout << "compiled in " << handle->compile_seconds * 1e3
+            << " ms; plan fingerprint 0x" << std::hex
+            << handle->plan_fingerprint << std::dec << ", footprint "
+            << handle->footprint_bytes << " bytes\n";
 
-  // --- 3. SpMM against a dense RHS.
+  // Recompiling the same matrix is a cache hit — same artifact, no work.
+  const bool warm_hit =
+      engine.compile(a.values()).value().get() == handle.get();
+  std::cout << "warm recompile: " << (warm_hit ? "cache hit" : "miss") << "\n";
+
+  // --- 3. SpMM against a dense RHS via the worker pool.
   DenseMatrix<fp16_t> b(512, 256);
   Rng rng(7);
   for (std::size_t i = 0; i < b.size(); ++i) {
     b.data()[i] = fp16_t(rng.uniform(-1.0f, 1.0f));
   }
-  gpusim::CostModel a100_model;
-  const core::JigsawRunResult result = core::jigsaw_run(plan, b, a100_model);
+  auto result = engine.submit(handle, b).get();
+  if (!result.ok()) {
+    std::cerr << "submit failed: " << result.status().to_string() << "\n";
+    return 1;
+  }
 
-  std::cout << "selected BLOCK_TILE: " << result.selected_block_tile << "\n"
-            << "simulated duration:  " << result.report.duration_us
-            << " us on " << a100_model.arch().name << " ("
-            << result.report.breakdown.limiter_name() << "-bound, "
-            << result.report.launch.blocks << " blocks)\n";
+  // The simulated A100 kernel report for this artifact and RHS width.
+  const gpusim::KernelReport report = engine.cost(*handle, b.cols());
+  std::cout << "simulated duration:  " << report.duration_us << " us ("
+            << report.breakdown.limiter_name() << "-bound, "
+            << report.launch.blocks << " blocks)\n";
 
   // Verify against the double-precision reference.
   const auto ref = reference_gemm(a.values(), b);
   std::cout << "max |error| vs fp64 reference: "
-            << max_abs_diff(*result.c, ref)
-            << (allclose(*result.c, ref, a.cols()) ? "  (OK)" : "  (FAIL)")
+            << max_abs_diff(result.value(), ref)
+            << (allclose(result.value(), ref, a.cols()) ? "  (OK)" : "  (FAIL)")
             << "\n";
-  return 0;
+  return allclose(result.value(), ref, a.cols()) ? 0 : 1;
 }

@@ -1,9 +1,12 @@
 #include "cli/cli.hpp"
 
+#include <chrono>
 #include <fstream>
+#include <future>
 #include <iostream>
 #include <optional>
 #include <sstream>
+#include <vector>
 
 #include "baselines/jigsaw_adapter.hpp"
 #include "baselines/spmm_kernel.hpp"
@@ -12,6 +15,7 @@
 #include "core/hybrid.hpp"
 #include "core/kernel.hpp"
 #include "core/serialize.hpp"
+#include "engine/engine.hpp"
 #include "matrix/matrix_market.hpp"
 #include "matrix/reference.hpp"
 #include "matrix/two_four.hpp"
@@ -51,6 +55,15 @@ commands:
 
   bench <a.mtx> [--n 256] [--seed 1]
       Run every kernel on the same problem and print the comparison.
+
+  serve [a.mtx] [--rows 128 --cols 128 --sparsity 0.85 --vector-width 4]
+        [--requests 16] [--threads 4] [--n 32] [--seed 1]
+        [--policy auto|raw|checked|hybrid] [--device a100|a100-80g|h100]
+      Drive the serving engine end-to-end: compile the matrix once
+      (with a warm recompile to demonstrate the plan cache), then submit
+      N random right-hand sides across T worker threads and print cache,
+      latency, and throughput statistics. Without an input file a
+      vector-sparse matrix is generated from the --rows/--cols flags.
 
   profile [a.mtx] [--rows 512 --cols 512 --sparsity 0.8 --vector-width 4]
           [--n 256] [--seed 1] [--trace out.json] [--all-metrics]
@@ -241,29 +254,42 @@ int cmd_run(const Args& args, std::ostream& out) {
 
   std::optional<DenseMatrix<float>> c;
   gpusim::KernelReport report;
-  if (checked) {
-    auto run = core::run_spmm_checked(dense, b, cm);
-    if (!run.ok()) {
-      out << "checked run rejected: " << run.status().to_string() << "\n";
+  if (checked || kernel == "hybrid") {
+    // Both tiers go through the serving engine: compile once (cache miss
+    // in this one-shot process), then execute via the unified facade.
+    Engine engine({.cost_model = cm});
+    EngineOptions options;
+    options.policy = checked ? core::ExecutionPolicy::kChecked
+                             : core::ExecutionPolicy::kHybrid;
+    auto compiled = engine.compile(dense, options);
+    if (!compiled.ok()) {
+      out << (checked ? "checked run" : "hybrid plan") << " rejected: "
+          << compiled.status().to_string() << "\n";
       return 1;
     }
-    auto& result = run.value();
-    const auto& deg = result.degradation;
-    out << "checked:           " << deg.panels_degraded << "/"
-        << deg.panels_total << " panels degraded ("
-        << deg.fallback_dense_columns << " columns -> dense TC, "
-        << deg.fallback_cuda_columns << " -> CUDA cores), "
-        << deg.reorder_evictions << " reorder evictions\n";
-    for (const auto& line : deg.notes) out << "  " << line << "\n";
-    c = std::move(result.c);
-    report = std::move(result.report);
-  } else if (kernel == "hybrid") {
-    const auto plan = core::hybrid_plan(dense, {});
-    auto run = core::hybrid_run(plan, dense, b, cm, {.compute_values = verify});
-    c = std::move(run.c);
-    report = std::move(run.report);
-    out << "routing: " << plan.total_dense_columns() << " dense-TC columns, "
-        << plan.total_cuda_columns() << " CUDA columns\n";
+    const CompiledMatrix& handle = *compiled.value();
+    if (checked) {
+      const auto& deg = handle.degradation;
+      out << "checked:           " << deg.panels_degraded << "/"
+          << deg.panels_total << " panels degraded ("
+          << deg.fallback_dense_columns << " columns -> dense TC, "
+          << deg.fallback_cuda_columns << " -> CUDA cores), "
+          << deg.reorder_evictions << " reorder evictions\n";
+      for (const auto& line : deg.notes) out << "  " << line << "\n";
+    } else {
+      out << "routing: " << handle.hybrid->total_dense_columns()
+          << " dense-TC columns, " << handle.hybrid->total_cuda_columns()
+          << " CUDA columns\n";
+    }
+    report = engine.cost(handle, n);
+    if (checked || verify) {
+      auto result = engine.submit(compiled.value(), b).get();
+      if (!result.ok()) {
+        out << "execution rejected: " << result.status().to_string() << "\n";
+        return 1;
+      }
+      c = std::move(result.value());
+    }
   } else {
     // Wrap the dense matrix as a v=1 vector-sparse operand for the common
     // kernel interface.
@@ -453,6 +479,131 @@ int cmd_profile(const Args& args, std::ostream& out) {
   return 0;
 }
 
+core::ExecutionPolicy parse_policy(const std::string& name) {
+  if (name == "auto") return core::ExecutionPolicy::kAuto;
+  if (name == "raw") return core::ExecutionPolicy::kRaw;
+  if (name == "checked") return core::ExecutionPolicy::kChecked;
+  if (name == "hybrid") return core::ExecutionPolicy::kHybrid;
+  throw Error("--policy expects auto|raw|checked|hybrid, got " + name);
+}
+
+int cmd_serve(const Args& args, std::ostream& out) {
+  fail_on_unknown_flags(args, {"rows", "cols", "sparsity", "vector-width",
+                               "requests", "threads", "n", "seed", "policy",
+                               "device"});
+  JIGSAW_CHECK_MSG(args.positional().size() <= 2,
+                   "serve takes at most one input file\n" << kUsage);
+  const std::size_t requests = args.value_size("requests", 16);
+  const int threads = static_cast<int>(args.value_size("threads", 4));
+  const std::size_t n = args.value_size("n", 32);
+  const std::uint64_t seed = args.value_size("seed", 1);
+
+  DenseMatrix<fp16_t> a(1, 1);
+  if (args.positional().size() == 2) {
+    a = read_matrix_market_file(args.positional()[1]);
+    out << "serving " << args.positional()[1] << ": " << a.rows() << " x "
+        << a.cols() << ", sparsity " << sparsity_of(a) * 100 << "%\n";
+  } else {
+    VectorSparseOptions o;
+    o.rows = args.value_size("rows", 128);
+    o.cols = args.value_size("cols", 128);
+    o.sparsity = args.value_double("sparsity", 0.85);
+    o.vector_width = args.value_size("vector-width", 4);
+    o.seed = seed;
+    a = VectorSparseGenerator::generate(o).values();
+    out << "serving generated " << o.rows << " x " << o.cols << ", sparsity "
+        << sparsity_of(a) * 100 << "%, v=" << o.vector_width << "\n";
+  }
+
+  obs::reset_metrics();
+  obs::set_metrics_enabled(true);
+
+  EngineConfig config;
+  config.worker_threads = threads;
+  config.cost_model =
+      gpusim::CostModel(gpusim::arch_by_name(args.value("device", "a100")));
+  Engine engine(config);
+  EngineOptions options;
+  options.policy = parse_policy(args.value("policy", "auto"));
+
+  auto compiled = engine.compile(a, options);
+  if (!compiled.ok()) {
+    out << "compile rejected: " << compiled.status().to_string() << "\n";
+    return 1;
+  }
+  const auto handle = compiled.value();
+  out << "compiled in " << handle->compile_seconds * 1e3 << " ms: policy "
+      << core::to_string(handle->policy) << ", plan fingerprint 0x" << std::hex
+      << handle->plan_fingerprint << std::dec << ", footprint "
+      << handle->footprint_bytes << " bytes";
+  if (handle->degraded) {
+    out << " (" << handle->degradation.panels_degraded << "/"
+        << handle->degradation.panels_total << " panels degraded)";
+  }
+  out << "\n";
+
+  // Warm recompile of the same matrix: must hit the plan cache.
+  auto warm = engine.compile(a, options);
+  if (!warm.ok()) {
+    out << "warm recompile rejected: " << warm.status().to_string() << "\n";
+    return 1;
+  }
+  out << "warm recompile:   "
+      << (warm.value().get() == handle.get() ? "cache hit (same artifact)"
+                                             : "MISS — cache broken")
+      << "\n";
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::future<Result<DenseMatrix<float>>>> futures;
+  futures.reserve(requests);
+  for (std::size_t i = 0; i < requests; ++i) {
+    futures.push_back(
+        engine.submit(handle, random_rhs(a.cols(), n, mix_seed(seed, i))));
+  }
+  std::size_t failed = 0;
+  for (auto& f : futures) {
+    auto result = f.get();
+    if (!result.ok()) {
+      ++failed;
+      out << "request failed: " << result.status().to_string() << "\n";
+    }
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  out << "served " << requests - failed << "/" << requests
+      << " requests (n=" << n << ") on " << engine.worker_count()
+      << " workers in " << wall * 1e3 << " ms ("
+      << static_cast<double>(requests - failed) / wall << " req/s)\n";
+
+  // Spot-check one request against the dense reference.
+  {
+    const auto b = random_rhs(a.cols(), n, mix_seed(seed, 0));
+    auto result = engine.submit(handle, b).get();
+    if (!result.ok() ||
+        !allclose(result.value(), reference_gemm(a, b), a.cols())) {
+      out << "verification:     FAILED\n";
+      return 1;
+    }
+    out << "verification:     OK\n";
+  }
+
+  const auto snapshot = obs::metrics_snapshot();
+  for (const auto& h : snapshot.histograms) {
+    if (h.name != "engine.execute_seconds") continue;
+    out << "latency:          p50 " << h.p50 * 1e3 << " ms, p99 "
+        << h.p99 * 1e3 << " ms, max " << h.max * 1e3 << " ms over " << h.count
+        << " executions\n";
+  }
+  const CacheStats stats = engine.cache_stats();
+  out << "cache:            " << stats.entries << " entries, " << stats.bytes
+      << " / " << stats.capacity_bytes << " bytes, " << stats.hits
+      << " hits, " << stats.misses << " misses, " << stats.evictions
+      << " evictions\n";
+  obs::set_metrics_enabled(false);
+  return failed == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 Args::Args(int argc, const char* const* argv)
@@ -539,6 +690,7 @@ int cli_main(const std::vector<std::string>& args, std::ostream& out,
     if (command == "run") return cmd_run(parsed, out);
     if (command == "validate") return cmd_validate(parsed, out);
     if (command == "bench") return cmd_bench(parsed, out);
+    if (command == "serve") return cmd_serve(parsed, out);
     if (command == "profile") return cmd_profile(parsed, out);
     if (command == "help" || command == "--help") {
       out << kUsage;

@@ -28,6 +28,7 @@ enum class StatusCode : std::uint8_t {
   kReorderFailed,       ///< a panel exhausted the §3.2 reorder-retry
   kNumericalFault,      ///< non-finite or out-of-tolerance numeric result
   kIoError,             ///< file open/read/write failure
+  kCapacityExhausted,   ///< a bounded resource (e.g. the plan cache) is full
   kInternal,            ///< invariant violation that indicates a bug
 };
 
@@ -42,6 +43,7 @@ inline const char* to_string(StatusCode code) {
     case StatusCode::kReorderFailed: return "reorder-failed";
     case StatusCode::kNumericalFault: return "numerical-fault";
     case StatusCode::kIoError: return "io-error";
+    case StatusCode::kCapacityExhausted: return "capacity-exhausted";
     case StatusCode::kInternal: return "internal";
   }
   return "?";

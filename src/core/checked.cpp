@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
@@ -29,8 +30,8 @@ std::uint32_t panel_column_nnz(const DenseMatrix<fp16_t>& a,
   return nnz;
 }
 
-/// Publishes the degradation counters of one checked run. Called on exit
-/// (success or failure) so validation failures are visible too.
+/// Publishes the degradation counters of one checked compile. Called on
+/// exit (success or failure) so validation failures are visible too.
 void publish_degradation(const DegradationReport& deg) {
   if (!obs::metrics_enabled()) return;
   obs::add("checked.panels_total", static_cast<double>(deg.panels_total));
@@ -47,19 +48,30 @@ void publish_degradation(const DegradationReport& deg) {
 
 }  // namespace
 
-Result<CheckedRunResult> run_spmm_checked(const DenseMatrix<fp16_t>& a,
-                                          const DenseMatrix<fp16_t>& b,
-                                          const gpusim::CostModel& cost_model,
-                                          const CheckedRunOptions& options) {
-  JIGSAW_TRACE_SCOPE("checked", "checked.run");
-  obs::add("checked.runs");
+EngineOptions CheckedRunOptions::to_engine_options() const {
+  EngineOptions o;
+  o.policy = ExecutionPolicy::kChecked;
+  o.compile.block_tile = tile.block_tile_m;
+  o.compile.reorder = reorder;
+  o.compile.cuda_route_max_nnz = cuda_fallback_max_nnz;
+  o.run.tuning = tuning;
+  return o;
+}
+
+CheckedRunOptions checked_options_from(const EngineOptions& options) {
+  CheckedRunOptions o;
+  o.tile.block_tile_m = options.compile.block_tile;
+  o.reorder = options.compile.reorder;
+  o.cuda_fallback_max_nnz = options.compile.cuda_route_max_nnz;
+  o.tuning = options.run.tuning;
+  return o;
+}
+
+Result<CheckedArtifact> checked_compile(const DenseMatrix<fp16_t>& a,
+                                        const CheckedRunOptions& options) {
+  JIGSAW_TRACE_SCOPE("checked", "checked.compile");
   if (a.rows() == 0 || a.cols() == 0) {
     return Status(StatusCode::kInvalidArgument, "A is empty");
-  }
-  if (b.rows() != a.cols()) {
-    return Status(StatusCode::kInvalidArgument,
-                  "SpMM shape mismatch: A cols " + std::to_string(a.cols()) +
-                      " vs B rows " + std::to_string(b.rows()));
   }
   if (options.tile.block_tile_m != 16 && options.tile.block_tile_m != 32 &&
       options.tile.block_tile_m != 64) {
@@ -68,12 +80,13 @@ Result<CheckedRunResult> run_spmm_checked(const DenseMatrix<fp16_t>& a,
                       std::to_string(options.tile.block_tile_m));
   }
 
-  CheckedRunResult out;
+  CheckedArtifact out;
   DegradationReport& deg = out.degradation;
 
   ReorderOptions ropts = options.reorder;
   ropts.tile = options.tile;
-  const ReorderResult first = multi_granularity_reorder(a, ropts);
+  out.reorder = multi_granularity_reorder(a, ropts);
+  const ReorderResult& first = out.reorder;
   deg.panels_total = first.panels.size();
   deg.reorder_evictions = first.total_evictions();
 
@@ -82,14 +95,14 @@ Result<CheckedRunResult> run_spmm_checked(const DenseMatrix<fp16_t>& a,
   for (std::size_t p = 0; p < first.panels.size(); ++p) {
     degraded[p] = panel_failed(first.panels[p], a.cols());
   }
-  const bool any_degraded =
+  out.degraded =
       std::find(degraded.begin(), degraded.end(), true) != degraded.end();
 
-  if (!any_degraded) {
+  if (!out.degraded) {
     // Straight SpTC path; validate() before execution keeps the kernel's
     // trust boundary identical in both tiers.
-    JigsawFormat format = JigsawFormat::build(a, first);
-    Status valid = format.validate();
+    out.format = JigsawFormat::build(a, first);
+    Status valid = out.format.validate();
     if (!valid.ok()) {
       ++deg.validation_failures;
       publish_degradation(deg);
@@ -97,9 +110,6 @@ Result<CheckedRunResult> run_spmm_checked(const DenseMatrix<fp16_t>& a,
                     "freshly built format failed validation: " +
                         valid.to_string());
     }
-    out.report = jigsaw_cost(format, b.cols(), KernelVersion::kV4,
-                             cost_model, options.tuning);
-    out.c = jigsaw_compute(format, b);
     publish_degradation(deg);
     return out;
   }
@@ -142,7 +152,7 @@ Result<CheckedRunResult> run_spmm_checked(const DenseMatrix<fp16_t>& a,
 
   // Re-run the reorder with the degraded panels' columns filtered out of
   // the SpTC subset (same seed: untouched panels reorder identically).
-  ropts.column_filter = [&degraded](std::size_t panel, std::uint32_t) {
+  ropts.column_filter = [degraded](std::size_t panel, std::uint32_t) {
     return !degraded[panel];
   };
   plan.reorder = multi_granularity_reorder(a, ropts);
@@ -154,15 +164,52 @@ Result<CheckedRunResult> run_spmm_checked(const DenseMatrix<fp16_t>& a,
     return Status(StatusCode::kInternal,
                   "degraded format failed validation: " + valid.to_string());
   }
+  out.hybrid = std::move(plan);
+  publish_degradation(deg);
+  return out;
+}
 
-  HybridRunResult run = hybrid_run(plan, a, b, cost_model,
-                                   {.compute_values = true,
-                                    .tuning = options.tuning});
+CheckedRunResult checked_execute(const CheckedArtifact& artifact,
+                                 const DenseMatrix<fp16_t>& a,
+                                 const DenseMatrix<fp16_t>& b,
+                                 const gpusim::CostModel& cost_model,
+                                 const JigsawTuning& tuning) {
+  JIGSAW_TRACE_SCOPE("checked", "checked.execute");
+  CheckedRunResult out;
+  out.degradation = artifact.degradation;
+  if (!artifact.degraded) {
+    out.report = jigsaw_cost(artifact.format, b.cols(), KernelVersion::kV4,
+                             cost_model, tuning);
+    out.c = jigsaw_compute(artifact.format, b);
+    return out;
+  }
+  JIGSAW_CHECK_MSG(artifact.hybrid.has_value(),
+                   "degraded artifact without a hybrid plan");
+  HybridRunResult run = hybrid_run(*artifact.hybrid, a, b, cost_model,
+                                   {.compute_values = true, .tuning = tuning});
   JIGSAW_CHECK_MSG(run.c.has_value(), "hybrid_run dropped the values");
   out.c = std::move(*run.c);
   out.report = std::move(run.report);
-  publish_degradation(deg);
   return out;
+}
+
+Result<CheckedRunResult> run_spmm_checked(const DenseMatrix<fp16_t>& a,
+                                          const DenseMatrix<fp16_t>& b,
+                                          const gpusim::CostModel& cost_model,
+                                          const CheckedRunOptions& options) {
+  JIGSAW_TRACE_SCOPE("checked", "checked.run");
+  obs::add("checked.runs");
+  if (a.rows() == 0 || a.cols() == 0) {
+    return Status(StatusCode::kInvalidArgument, "A is empty");
+  }
+  if (b.rows() != a.cols()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "SpMM shape mismatch: A cols " + std::to_string(a.cols()) +
+                      " vs B rows " + std::to_string(b.rows()));
+  }
+  auto artifact = checked_compile(a, options);
+  if (!artifact.ok()) return artifact.status();
+  return checked_execute(artifact.value(), a, b, cost_model, options.tuning);
 }
 
 Result<DenseMatrix<float>> run_spmm_checked(const JigsawFormat& format,

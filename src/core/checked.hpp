@@ -18,6 +18,7 @@
 //     caller can observe what the tier swallowed.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,11 @@ struct DegradationReport {
   void note(std::string message) { notes.push_back(std::move(message)); }
 };
 
+/// Deprecated shim over the layered EngineOptions (core/options.hpp):
+/// the checked tier predates the consolidation and mixed compile-section
+/// fields (tile, reorder, routing threshold) with the run-section tuning.
+/// Existing call sites keep compiling; new code builds an EngineOptions
+/// and lets the engine drive this tier.
 struct CheckedRunOptions {
   TileConfig tile{};          ///< BLOCK_TILE of the attempted SpTC path
   ReorderOptions reorder{};   ///< knobs of the first-chance reorder
@@ -47,7 +53,40 @@ struct CheckedRunOptions {
   /// CUDA cores; the rest go to the dense tensor core.
   std::uint32_t cuda_fallback_max_nnz = 2;
   JigsawTuning tuning{};
+
+  /// The EngineOptions equivalent of this shim (tuning lands in .run).
+  EngineOptions to_engine_options() const;
 };
+
+/// Reconstructs the shim from the canonical layered options.
+CheckedRunOptions checked_options_from(const EngineOptions& options);
+
+/// The amortizable product of the checked tier's preprocessing: what
+/// run_spmm_checked(a, ...) computes before it ever touches B. The engine
+/// compiles this once per matrix and executes many right-hand sides
+/// against it.
+struct CheckedArtifact {
+  /// True when at least one panel left the SpTC path.
+  bool degraded = false;
+  /// Undegraded: the full validated SpTC format. Unused when degraded
+  /// (the hybrid plan below carries the SpTC subset instead).
+  JigsawFormat format;
+  /// The first-chance reorder (undegraded case: the one `format` was
+  /// built from). Exposes plan_fingerprint/stats to the caller.
+  ReorderResult reorder;
+  /// Set when degraded: failed panels' columns routed to the dense-TC /
+  /// CUDA-core pipes, SpTC subset re-reordered under the column filter.
+  std::optional<HybridPlan> hybrid;
+  DegradationReport degradation;
+};
+
+/// Compile phase of the checked tier: reorder A, degrade failed panels
+/// through the hybrid routing, build + validate the format(s). Returns
+/// kInvalidArgument for contract violations and kInternal should a built
+/// format fail its own validation. Counters are published to the metrics
+/// registry on every exit path.
+Result<CheckedArtifact> checked_compile(const DenseMatrix<fp16_t>& a,
+                                        const CheckedRunOptions& options = {});
 
 struct CheckedRunResult {
   DenseMatrix<float> c;            ///< exact product, whatever the route
@@ -55,10 +94,21 @@ struct CheckedRunResult {
   DegradationReport degradation;
 };
 
-/// End-to-end checked SpMM: reorder A (degrading failed panels through
-/// the hybrid dense/CUDA routing), validate the built format, execute.
-/// Never throws for workload-shaped failures; returns kInvalidArgument
-/// for shape mismatches and kInternal should a built format fail its own
+/// Executes one RHS against a compiled checked artifact: the SpTC path
+/// when undegraded, the fused hybrid pipes otherwise. `a` is only read on
+/// the degraded route (the hybrid pipes recompute their columns from the
+/// original matrix).
+CheckedRunResult checked_execute(const CheckedArtifact& artifact,
+                                 const DenseMatrix<fp16_t>& a,
+                                 const DenseMatrix<fp16_t>& b,
+                                 const gpusim::CostModel& cost_model,
+                                 const JigsawTuning& tuning = {});
+
+/// End-to-end checked SpMM: checked_compile + checked_execute in one
+/// call (the preprocessing is re-paid every time; serving loops should
+/// compile once through jigsaw::Engine instead). Never throws for
+/// workload-shaped failures; returns kInvalidArgument for shape
+/// mismatches and kInternal should a built format fail its own
 /// validation.
 Result<CheckedRunResult> run_spmm_checked(const DenseMatrix<fp16_t>& a,
                                           const DenseMatrix<fp16_t>& b,

@@ -70,10 +70,9 @@ struct HybridRunResult {
   gpusim::KernelReport report;
 };
 
-struct HybridRunOptions {
-  bool compute_values = true;
-  JigsawTuning tuning{};
-};
+// HybridRunOptions is a deprecated alias of EngineOptions::Run
+// (core/options.hpp); the fused epilogue it carries is ignored by
+// hybrid_run itself (the engine applies it after the three pipes merge).
 
 /// Executes the fused hybrid kernel: SpTC tiles through the Jigsaw path,
 /// dense tiles through mma.m16n8k16, CUDA-routed nonzeros through scalar

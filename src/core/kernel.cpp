@@ -25,6 +25,16 @@ const char* to_string(KernelVersion v) {
   return "?";
 }
 
+const char* to_string(ExecutionPolicy p) {
+  switch (p) {
+    case ExecutionPolicy::kAuto: return "auto";
+    case ExecutionPolicy::kRaw: return "raw";
+    case ExecutionPolicy::kChecked: return "checked";
+    case ExecutionPolicy::kHybrid: return "hybrid";
+  }
+  return "?";
+}
+
 KernelFeatures KernelFeatures::for_version(KernelVersion v) {
   KernelFeatures f;
   const int n = static_cast<int>(v);

@@ -28,14 +28,15 @@
 #include <vector>
 
 #include "core/format.hpp"
+#include "core/options.hpp"
 #include "gpusim/cost_model.hpp"
 #include "gpusim/event_sim.hpp"
 
 namespace jigsaw::core {
 
-enum class KernelVersion : int { kV0 = 0, kV1 = 1, kV2 = 2, kV3 = 3, kV4 = 4 };
-
-const char* to_string(KernelVersion v);
+// KernelVersion, JigsawTuning, Epilogue and the consolidated option
+// surface (EngineOptions + the deprecated JigsawPlanOptions /
+// JigsawRunOptions aliases) live in core/options.hpp.
 
 /// Per-version feature switches derived from KernelVersion.
 struct KernelFeatures {
@@ -45,31 +46,6 @@ struct KernelFeatures {
   bool tile_tuning = false;        ///< V4: BLOCK_TILE in {16,32,64}
 
   static KernelFeatures for_version(KernelVersion v);
-};
-
-/// Calibration constants of the latency model. The structural quantities
-/// (instructions, transactions, conflicts, bytes) are counted exactly from
-/// the data layout; these constants only set the magnitude of the exposed
-/// dependency stalls, and were calibrated once against the ablation
-/// metrics quoted in §4.4 (warp long scoreboard 1.82 -> 0.87 between the
-/// shallow and deep pipeline).
-struct JigsawTuning {
-  /// Exposed global-latency stall per k-step per warp with the shallow
-  /// 2-stage pipeline, where the col_idx -> B indirect load is serialized.
-  double shallow_pipeline_stall_per_kstep = 300.0;
-  /// Residual exposed stall with the deepened 3-stage pipeline.
-  double deep_pipeline_stall_per_kstep = 95.0;
-  /// Short-scoreboard stall per shared-memory transaction.
-  double short_stall_per_smem_transaction = 1.1;
-  /// Extra short-scoreboard stall per (warp, slice) on the naive metadata
-  /// path: the uncoalesced half-warp load serializes against the mma.
-  double naive_metadata_stall = 12.0;
-  /// Extra predication/branch instructions per mma for the naive metadata
-  /// path (half the warp idles while the other half loads its word).
-  double naive_metadata_insts_per_mma = 10.0;
-  /// Loop/index bookkeeping instructions per k-step per warp.
-  double loop_insts_per_kstep_per_warp = 14.0;
-  int regs_per_thread = 96;
 };
 
 /// One-time preprocessing product: reorder + format for one or (V4) three
@@ -82,43 +58,14 @@ struct JigsawPlan {
   double preprocess_seconds = 0.0;      ///< measured host reorder time
 };
 
-struct JigsawPlanOptions {
-  KernelVersion version = KernelVersion::kV4;
-  int block_tile = 64;  ///< used by V0..V3 (the ablation fixes 64)
-  ReorderOptions reorder{};
-};
-
 /// Runs the multi-granularity reorder and builds the format(s).
 JigsawPlan jigsaw_plan(const DenseMatrix<fp16_t>& a,
                        const JigsawPlanOptions& options = {});
-
-/// Fused epilogue applied to the C tile in registers before the global
-/// write-back — the standard inference pattern C = act(A x B + bias).
-/// Fusing it is free bandwidth-wise (C is already in registers); the cost
-/// walk charges only the extra CUDA-core ops and the bias vector load.
-struct Epilogue {
-  enum class Activation : std::uint8_t { kNone, kRelu, kGelu };
-  Activation activation = Activation::kNone;
-  /// Optional per-output-row bias (length M).
-  const std::vector<float>* bias = nullptr;
-
-  bool active() const {
-    return activation != Activation::kNone || bias != nullptr;
-  }
-  /// Applies the epilogue to one value of output row `row`.
-  float apply(float x, std::size_t row) const;
-};
 
 struct JigsawRunResult {
   std::optional<DenseMatrix<float>> c;  ///< set when compute_values
   gpusim::KernelReport report;
   int selected_block_tile = 0;  ///< the BLOCK_TILE V4 picked
-};
-
-struct JigsawRunOptions {
-  bool compute_values = true;  ///< run the functional path
-  JigsawTuning tuning{};
-  Epilogue epilogue{};         ///< fused bias/activation (§ inference use)
 };
 
 /// Executes the kernel against a dense RHS: always produces the simulated

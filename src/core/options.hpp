@@ -1,0 +1,141 @@
+// Consolidated option surface of the Jigsaw pipeline.
+//
+// Historically every entry point grew its own knob struct
+// (JigsawPlanOptions, JigsawRunOptions, CheckedRunOptions,
+// HybridRunOptions), so a caller threading the pipeline end-to-end had to
+// translate between four overlapping vocabularies. This header layers the
+// whole surface into one EngineOptions value with two sections:
+//
+//   * EngineOptions::Compile — everything that shapes the immutable
+//     compiled artifact (kernel version, tiling, metadata layout, reorder
+//     knobs, hybrid routing thresholds). Two compiles with equal Compile
+//     sections on the same matrix produce interchangeable artifacts, which
+//     is what makes the engine's plan cache sound.
+//   * EngineOptions::Run — everything that varies per execution against an
+//     already-compiled artifact (value computation, latency-model tuning,
+//     fused epilogue). Run options never invalidate a cached artifact.
+//
+// plus the ExecutionPolicy selecting which tier executes the artifact.
+// The legacy names survive as thin deprecated aliases (bottom of this
+// header and checked.hpp) so existing call sites keep compiling; new code
+// should spell the sections directly. See docs/API.md for the migration
+// table.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/format.hpp"
+
+namespace jigsaw::core {
+
+enum class KernelVersion : int { kV0 = 0, kV1 = 1, kV2 = 2, kV3 = 3, kV4 = 4 };
+
+const char* to_string(KernelVersion v);
+
+/// Calibration constants of the latency model. The structural quantities
+/// (instructions, transactions, conflicts, bytes) are counted exactly from
+/// the data layout; these constants only set the magnitude of the exposed
+/// dependency stalls, and were calibrated once against the ablation
+/// metrics quoted in §4.4 (warp long scoreboard 1.82 -> 0.87 between the
+/// shallow and deep pipeline).
+struct JigsawTuning {
+  /// Exposed global-latency stall per k-step per warp with the shallow
+  /// 2-stage pipeline, where the col_idx -> B indirect load is serialized.
+  double shallow_pipeline_stall_per_kstep = 300.0;
+  /// Residual exposed stall with the deepened 3-stage pipeline.
+  double deep_pipeline_stall_per_kstep = 95.0;
+  /// Short-scoreboard stall per shared-memory transaction.
+  double short_stall_per_smem_transaction = 1.1;
+  /// Extra short-scoreboard stall per (warp, slice) on the naive metadata
+  /// path: the uncoalesced half-warp load serializes against the mma.
+  double naive_metadata_stall = 12.0;
+  /// Extra predication/branch instructions per mma for the naive metadata
+  /// path (half the warp idles while the other half loads its word).
+  double naive_metadata_insts_per_mma = 10.0;
+  /// Loop/index bookkeeping instructions per k-step per warp.
+  double loop_insts_per_kstep_per_warp = 14.0;
+  int regs_per_thread = 96;
+};
+
+/// Fused epilogue applied to the C tile in registers before the global
+/// write-back — the standard inference pattern C = act(A x B + bias).
+/// Fusing it is free bandwidth-wise (C is already in registers); the cost
+/// walk charges only the extra CUDA-core ops and the bias vector load.
+struct Epilogue {
+  enum class Activation : std::uint8_t { kNone, kRelu, kGelu };
+  Activation activation = Activation::kNone;
+  /// Optional per-output-row bias (length M). The pointee must outlive
+  /// every execution using this epilogue — for Engine::submit that means
+  /// until the returned future is ready.
+  const std::vector<float>* bias = nullptr;
+
+  bool active() const {
+    return activation != Activation::kNone || bias != nullptr;
+  }
+  /// Applies the epilogue to one value of output row `row`.
+  float apply(float x, std::size_t row) const;
+};
+
+/// Which execution tier an engine-compiled artifact runs through.
+enum class ExecutionPolicy : std::uint8_t {
+  /// Pick for the caller: currently resolves to kChecked, the
+  /// degrade-don't-die tier a serving loop wants by default.
+  kAuto = 0,
+  /// The plain SpTC path (jigsaw_plan/jigsaw_run semantics). Strict: a
+  /// matrix whose reorder fails §4.3 is a typed kReorderFailed compile
+  /// error instead of silently running a grown layout.
+  kRaw,
+  /// The checked tier: panels whose reorder fails degrade through the
+  /// hybrid dense-TC / CUDA-core pipes; the answer stays exact.
+  kChecked,
+  /// The §4.7 hybrid router: every column classified onto one of the
+  /// three compute pipes up front.
+  kHybrid,
+};
+
+const char* to_string(ExecutionPolicy p);
+
+/// The single layered option surface (see file comment).
+struct EngineOptions {
+  /// Compile-time section: shapes the immutable artifact; part of the
+  /// plan-cache key.
+  struct Compile {
+    KernelVersion version = KernelVersion::kV4;
+    int block_tile = 64;  ///< used by V0..V3 (V4 tunes over {16,32,64})
+    ReorderOptions reorder{};
+    /// Metadata layout of the extra format pair the engine keeps next to
+    /// the per-version plan (V0..V2 force kNaive, V3+ kInterleaved for
+    /// their own execution regardless).
+    MetadataLayout metadata_layout = MetadataLayout::kInterleaved;
+    /// Hybrid routing (kHybrid policy): columns whose densest 16-row
+    /// slice exceeds this fraction go to the dense tensor core.
+    double dense_route_min_density = 0.75;
+    /// Hybrid/checked routing: columns with at most this many panel
+    /// nonzeros fall back to the CUDA cores.
+    std::uint32_t cuda_route_max_nnz = 2;
+  };
+
+  /// Run-time section: varies per execution, never invalidates a cached
+  /// artifact.
+  struct Run {
+    bool compute_values = true;  ///< run the functional path
+    JigsawTuning tuning{};
+    Epilogue epilogue{};  ///< fused bias/activation (§ inference use)
+  };
+
+  ExecutionPolicy policy = ExecutionPolicy::kAuto;
+  Compile compile;
+  Run run;
+};
+
+// ---- Deprecated aliases ---------------------------------------------------
+// Thin compatibility spellings for the pre-engine entry points; existing
+// call sites keep compiling, new code uses the EngineOptions sections.
+// CheckedRunOptions (the fourth legacy struct) lives in checked.hpp as a
+// shim because it mixed compile- and run-section fields.
+using JigsawPlanOptions = EngineOptions::Compile;   ///< deprecated name
+using JigsawRunOptions = EngineOptions::Run;        ///< deprecated name
+using HybridRunOptions = EngineOptions::Run;        ///< deprecated name
+
+}  // namespace jigsaw::core

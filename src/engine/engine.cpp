@@ -1,0 +1,339 @@
+#include "engine/engine.hpp"
+
+#include <chrono>
+#include <exception>
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace jigsaw::engine {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= kFnvPrime;
+  }
+}
+
+void fnv_mix_double(std::uint64_t& h, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  __builtin_memcpy(&bits, &v, sizeof(bits));
+  fnv_mix(h, bits);
+}
+
+/// True when this artifact executes on the hybrid dense-TC / CUDA-core
+/// pipes (always under kHybrid; under kChecked only after degradation).
+bool hybrid_route(const CompiledMatrix& handle) {
+  return handle.hybrid.has_value() &&
+         (handle.policy == ExecutionPolicy::kHybrid || handle.degraded);
+}
+
+void apply_epilogue(DenseMatrix<float>& c, const core::Epilogue& epilogue) {
+  if (!epilogue.active()) return;
+  for (std::size_t r = 0; r < c.rows(); ++r) {
+    for (std::size_t j = 0; j < c.cols(); ++j) {
+      c(r, j) = epilogue.apply(c(r, j), r);
+    }
+  }
+}
+
+std::size_t footprint_of(const core::JigsawFormat& f) {
+  return f.memory_footprint().total();
+}
+
+}  // namespace
+
+std::uint64_t matrix_content_hash(const DenseMatrix<fp16_t>& a) {
+  std::uint64_t h = kFnvOffset;
+  fnv_mix(h, a.rows());
+  fnv_mix(h, a.cols());
+  const fp16_t* data = a.data();
+  const std::size_t n = a.rows() * a.cols();
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i].bits() & 0xffu;
+    h *= kFnvPrime;
+    h ^= (data[i].bits() >> 8) & 0xffu;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t options_content_hash(const EngineOptions& options,
+                                   ExecutionPolicy resolved_policy) {
+  const EngineOptions::Compile& c = options.compile;
+  std::uint64_t h = kFnvOffset;
+  fnv_mix(h, static_cast<std::uint64_t>(resolved_policy));
+  fnv_mix(h, static_cast<std::uint64_t>(c.version));
+  fnv_mix(h, static_cast<std::uint64_t>(c.block_tile));
+  fnv_mix(h, static_cast<std::uint64_t>(c.metadata_layout));
+  fnv_mix_double(h, c.dense_route_min_density);
+  fnv_mix(h, c.cuda_route_max_nnz);
+  // Every plan-affecting reorder knob. max_threads is deliberately
+  // excluded (plans are thread-count invariant) and column_filter is a
+  // std::function — requests carrying one are never cached at all.
+  const core::ReorderOptions& r = c.reorder;
+  fnv_mix(h, static_cast<std::uint64_t>(r.tile.block_tile_m));
+  fnv_mix(h, static_cast<std::uint64_t>(r.search.bank_conflict_aware));
+  fnv_mix(h, static_cast<std::uint64_t>(r.search.greedy_attempts));
+  fnv_mix(h, r.search.max_pair_iterations);
+  fnv_mix(h, r.search.conflict_free_search_budget);
+  fnv_mix(h, static_cast<std::uint64_t>(r.eviction_limit_per_tile));
+  fnv_mix(h, r.seed);
+  fnv_mix(h, static_cast<std::uint64_t>(r.use_memo_cache));
+  fnv_mix(h, static_cast<std::uint64_t>(r.use_incremental_retry));
+  fnv_mix(h, static_cast<std::uint64_t>(r.rescue_attempts));
+  return h;
+}
+
+Engine::Engine(EngineConfig config)
+    : config_(config),
+      cache_(config.cache_capacity_bytes, config.cache_shards),
+      pool_(config.worker_threads) {}
+
+Result<std::shared_ptr<const CompiledMatrix>> Engine::compile(
+    const DenseMatrix<fp16_t>& a, const EngineOptions& options) {
+  JIGSAW_TRACE_SCOPE("engine", "engine.compile");
+  if (a.rows() == 0 || a.cols() == 0) {
+    return Status(StatusCode::kInvalidArgument, "A is empty");
+  }
+  const int bt = options.compile.block_tile;
+  if (bt != 16 && bt != 32 && bt != 64) {
+    return Status(StatusCode::kInvalidArgument,
+                  "BLOCK_TILE must be 16, 32 or 64, got " + std::to_string(bt));
+  }
+  const ExecutionPolicy policy = options.policy == ExecutionPolicy::kAuto
+                                     ? ExecutionPolicy::kChecked
+                                     : options.policy;
+  const bool cacheable = !options.compile.reorder.column_filter;
+  if (!cacheable) {
+    obs::add("engine.cache.bypass");
+    return compile_artifact(a, options, policy, CacheKey{});
+  }
+
+  const CacheKey key{matrix_content_hash(a),
+                     options_content_hash(options, policy)};
+  if (auto hit = cache_.find(key)) {
+    obs::add("engine.cache.hits");
+    return hit;
+  }
+  obs::add("engine.cache.misses");
+
+  auto artifact = compile_artifact(a, options, policy, key);
+  if (!artifact.ok()) return artifact.status();
+  auto inserted = cache_.insert(key, artifact.value(),
+                                artifact.value()->footprint_bytes);
+  if (!inserted.ok()) return inserted.status();
+  obs::gauge_set("engine.cache.bytes",
+                 static_cast<double>(cache_.stats().bytes));
+  return inserted;
+}
+
+Result<std::shared_ptr<const CompiledMatrix>> Engine::compile_artifact(
+    const DenseMatrix<fp16_t>& a, const EngineOptions& options,
+    ExecutionPolicy policy, const CacheKey& key) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto cm = std::make_shared<CompiledMatrix>();
+  cm->matrix_hash = key.matrix_hash;
+  cm->options_hash = key.options_hash;
+  cm->policy = policy;
+  cm->options = options.compile;
+  cm->rows = a.rows();
+  cm->cols = a.cols();
+
+  // Route selection happens here, once: the artifact records it and
+  // execute() just follows. Exceptions from the trusted tier (contract
+  // bugs) are converted to kInternal at this boundary.
+  const core::ReorderResult* primary = nullptr;
+  try {
+    switch (policy) {
+      case ExecutionPolicy::kAuto:  // resolved by compile(); unreachable
+      case ExecutionPolicy::kChecked: {
+        auto artifact =
+            core::checked_compile(a, core::checked_options_from(options));
+        if (!artifact.ok()) return artifact.status();
+        core::CheckedArtifact& art = artifact.value();
+        cm->degraded = art.degraded;
+        cm->degradation = std::move(art.degradation);
+        if (art.degraded) {
+          cm->hybrid = std::move(art.hybrid);
+          primary = &cm->hybrid->reorder;
+        } else {
+          cm->plan.version = options.compile.version;
+          cm->plan.reorders.push_back(std::move(art.reorder));
+          primary = &cm->plan.reorders.back();
+        }
+        break;
+      }
+      case ExecutionPolicy::kHybrid: {
+        core::HybridOptions hopts;
+        hopts.tile.block_tile_m = options.compile.block_tile;
+        hopts.dense_route_min_density = options.compile.dense_route_min_density;
+        hopts.cuda_route_max_nnz = options.compile.cuda_route_max_nnz;
+        hopts.reorder = options.compile.reorder;
+        cm->hybrid = core::hybrid_plan(a, hopts);
+        primary = &cm->hybrid->reorder;
+        break;
+      }
+      case ExecutionPolicy::kRaw: {
+        cm->plan = core::jigsaw_plan(a, options.compile);
+        std::size_t chosen = 0;
+        bool any_success = false;
+        for (std::size_t i = 0; i < cm->plan.reorders.size(); ++i) {
+          if (!cm->plan.reorders[i].success()) continue;
+          if (!any_success ||
+              cm->plan.reorders[i].tile.block_tile_m ==
+                  options.compile.block_tile) {
+            chosen = i;
+          }
+          any_success = true;
+        }
+        if (!any_success) {
+          return Status(
+              StatusCode::kReorderFailed,
+              "raw policy: no BLOCK_TILE candidate reordered successfully "
+              "(§4.3); recompile with ExecutionPolicy::kChecked to degrade "
+              "instead");
+        }
+        primary = &cm->plan.reorders[chosen];
+        break;
+      }
+    }
+
+    JIGSAW_CHECK_MSG(primary != nullptr, "no primary reorder selected");
+    cm->plan_fingerprint = core::plan_fingerprint(*primary);
+    cm->naive_format =
+        core::JigsawFormat::build(a, *primary, core::MetadataLayout::kNaive);
+    cm->interleaved_format = core::JigsawFormat::build(
+        a, *primary, core::MetadataLayout::kInterleaved);
+  } catch (const std::exception& e) {
+    return Status(StatusCode::kInternal,
+                  std::string("compile raised: ") + e.what());
+  }
+  for (const core::JigsawFormat* f :
+       {&cm->naive_format, &cm->interleaved_format}) {
+    Status valid = f->validate();
+    if (!valid.ok()) {
+      return Status(StatusCode::kInternal,
+                    "freshly built format failed validation: " +
+                        valid.to_string());
+    }
+  }
+
+  // Resident size charged against the cache bound.
+  std::size_t bytes = footprint_of(cm->naive_format) +
+                      footprint_of(cm->interleaved_format);
+  for (const core::JigsawFormat& f : cm->plan.formats) {
+    bytes += footprint_of(f);
+  }
+  if (cm->hybrid.has_value()) {
+    bytes += footprint_of(cm->hybrid->format);
+    for (const core::PanelRouting& r : cm->hybrid->routing) {
+      bytes += (r.dense_columns.size() + r.cuda_columns.size()) *
+               sizeof(std::uint32_t);
+    }
+    // The hybrid pipes read their columns from the original operand, so
+    // it stays resident with the artifact.
+    cm->lhs = a;
+    bytes += a.rows() * a.cols() * sizeof(fp16_t);
+  }
+  cm->footprint_bytes = bytes;
+  cm->compile_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  obs::observe("engine.compile_seconds", cm->compile_seconds);
+  return std::static_pointer_cast<const CompiledMatrix>(cm);
+}
+
+Result<DenseMatrix<float>> Engine::execute(
+    const CompiledMatrix& handle, const DenseMatrix<fp16_t>& b,
+    const EngineOptions::Run& run) const {
+  JIGSAW_TRACE_SCOPE("engine", "engine.execute");
+  const auto t0 = std::chrono::steady_clock::now();
+  if (b.rows() != handle.cols) {
+    return Status(StatusCode::kInvalidArgument,
+                  "SpMM shape mismatch: compiled A cols " +
+                      std::to_string(handle.cols) + " vs B rows " +
+                      std::to_string(b.rows()));
+  }
+  try {
+    DenseMatrix<float> c(0, 0);
+    if (hybrid_route(handle)) {
+      core::HybridRunResult rr =
+          core::hybrid_run(*handle.hybrid, handle.lhs, b, config_.cost_model,
+                           {.compute_values = true, .tuning = run.tuning});
+      JIGSAW_CHECK_MSG(rr.c.has_value(), "hybrid_run dropped the values");
+      c = std::move(*rr.c);
+      // hybrid_run fuses three pipes and ignores the epilogue; apply it
+      // on the merged product.
+      apply_epilogue(c, run.epilogue);
+    } else if (handle.policy == ExecutionPolicy::kRaw) {
+      core::JigsawRunResult rr = core::jigsaw_run(
+          handle.plan, b, config_.cost_model,
+          {.compute_values = true, .tuning = run.tuning,
+           .epilogue = run.epilogue});
+      JIGSAW_CHECK_MSG(rr.c.has_value(), "jigsaw_run dropped the values");
+      c = std::move(*rr.c);
+    } else {
+      c = core::jigsaw_compute(handle.format(), b, run.epilogue);
+    }
+    obs::observe(
+        "engine.execute_seconds",
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
+    return c;
+  } catch (const std::exception& e) {
+    return Status(StatusCode::kInternal,
+                  std::string("execute raised: ") + e.what());
+  }
+}
+
+std::future<Result<DenseMatrix<float>>> Engine::submit(
+    std::shared_ptr<const CompiledMatrix> handle, DenseMatrix<fp16_t> b,
+    EngineOptions::Run run) {
+  obs::add("engine.submits");
+  return pool_.submit(
+      [this, handle = std::move(handle), b = std::move(b),
+       run = std::move(run)]() -> Result<DenseMatrix<float>> {
+        if (handle == nullptr) {
+          return Status(StatusCode::kInvalidArgument,
+                        "submit with a null CompiledMatrix handle");
+        }
+        return execute(*handle, b, run);
+      });
+}
+
+gpusim::KernelReport Engine::cost(const CompiledMatrix& handle, std::size_t n,
+                                  const EngineOptions::Run& run) const {
+  if (hybrid_route(handle)) {
+    DenseMatrix<fp16_t> b(handle.cols, n);
+    core::HybridRunResult rr =
+        core::hybrid_run(*handle.hybrid, handle.lhs, b, config_.cost_model,
+                         {.compute_values = false, .tuning = run.tuning});
+    return rr.report;
+  }
+  if (handle.policy == ExecutionPolicy::kRaw && !handle.plan.formats.empty()) {
+    gpusim::KernelReport best;
+    for (std::size_t i = 0; i < handle.plan.formats.size(); ++i) {
+      gpusim::KernelReport report = core::jigsaw_cost(
+          handle.plan.formats[i], n, handle.plan.version, config_.cost_model,
+          run.tuning, run.epilogue);
+      if (i == 0 || report.duration_cycles < best.duration_cycles) {
+        best = std::move(report);
+      }
+    }
+    return best;
+  }
+  return core::jigsaw_cost(handle.format(), n, handle.options.version,
+                           config_.cost_model, run.tuning, run.epilogue);
+}
+
+}  // namespace jigsaw::engine

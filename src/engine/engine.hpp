@@ -1,0 +1,181 @@
+// jigsaw::Engine — the unified serving facade over the whole pipeline.
+//
+// The library's entry points grew bottom-up: multi_granularity_reorder →
+// JigsawFormat → jigsaw_plan/jigsaw_run for the trusted path,
+// run_spmm_checked for the degrade-don't-die tier, hybrid_plan/hybrid_run
+// for the §4.7 mixed-unit extension. A serving system needs exactly one:
+//
+//   Engine engine;
+//   auto handle = engine.compile(a, options);        // expensive, cached
+//   auto future = engine.submit(handle.value(), b);  // cheap, concurrent
+//   DenseMatrix<float> c = future.get().value();
+//
+// compile() runs reorder → format build → kernel plan → hybrid routing
+// once and returns an immutable CompiledMatrix; identical requests (same
+// matrix content, same options) are served from a sharded LRU cache
+// without re-running any preprocessing. submit() executes one RHS against
+// the shared read-only artifact on a fixed worker pool
+// (common/parallel.hpp), so independent batches run concurrently.
+// ExecutionPolicy picks the route once, at compile time:
+//
+//   kRaw      the trusted jigsaw_plan/jigsaw_run path; a matrix that
+//             fails the §4.3 reorder is a typed kReorderFailed error;
+//   kChecked  (the kAuto default) the checked tier: failed panels degrade
+//             onto the hybrid dense-TC/CUDA-core pipes, the answer stays
+//             exact;
+//   kHybrid   the §4.7 density router for every matrix, failed or not.
+//
+// Everything the engine returns crosses an untrusted serving boundary, so
+// errors are Status/Result values (never exceptions): kInvalidArgument
+// for shape/option violations, kReorderFailed as above, kInternal for a
+// format that fails its own validation, kCapacityExhausted when an
+// artifact cannot fit the cache bound.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <optional>
+
+#include "common/parallel.hpp"
+#include "common/status.hpp"
+#include "core/checked.hpp"
+#include "engine/plan_cache.hpp"
+
+namespace jigsaw::engine {
+
+using core::EngineOptions;
+using core::ExecutionPolicy;
+using jigsaw::DenseMatrix;
+using jigsaw::fp16_t;
+
+struct EngineConfig {
+  /// Total byte budget of the compiled-artifact cache, split evenly
+  /// across the shards. Artifact sizes are measured footprints
+  /// (JigsawFormat::Footprint plus retained operands).
+  std::size_t cache_capacity_bytes = 256ull << 20;
+  int cache_shards = 8;
+  /// Worker threads executing submit()ted requests; <= 0 uses the
+  /// hardware concurrency.
+  int worker_threads = 0;
+  /// Simulated device all executions are costed against.
+  gpusim::CostModel cost_model{};
+};
+
+/// Immutable product of Engine::compile — everything any execution policy
+/// needs, so one cached artifact serves raw, checked and hybrid requests
+/// for its (matrix, options) key. Shared read-only across worker threads.
+struct CompiledMatrix {
+  std::uint64_t matrix_hash = 0;   ///< FNV-1a of the operand content
+  std::uint64_t options_hash = 0;  ///< hash of every plan-affecting option
+  /// Identity of the reorder output (core::plan_fingerprint of the
+  /// primary reorder) — comparable across processes and planner
+  /// generations; diagnostics only, the cache keys on content instead
+  /// (see plan_cache.hpp).
+  std::uint64_t plan_fingerprint = 0;
+  ExecutionPolicy policy = ExecutionPolicy::kChecked;  ///< resolved (never kAuto)
+  EngineOptions::Compile options;  ///< the compile section this was built with
+  std::size_t rows = 0, cols = 0;
+
+  /// Trusted-path plan at options.version (V4 carries the BLOCK_TILE
+  /// candidates). Formats are version-independent, so any KernelVersion
+  /// can be costed against these — see Engine::cost.
+  core::JigsawPlan plan;
+  /// The primary reorder in both §3.4.3 metadata layouts;
+  /// options.metadata_layout selects which one execution reads.
+  core::JigsawFormat naive_format;
+  core::JigsawFormat interleaved_format;
+  /// Set when the artifact routes any column off the SpTC path: always
+  /// under kHybrid, under kChecked only when the reorder degraded.
+  std::optional<core::HybridPlan> hybrid;
+  core::DegradationReport degradation;
+  bool degraded = false;
+  /// The operand is retained only when `hybrid` is set (the dense-TC /
+  /// CUDA-core pipes read their columns from the original matrix).
+  DenseMatrix<fp16_t> lhs;
+
+  double compile_seconds = 0.0;   ///< measured, cache misses only
+  std::size_t footprint_bytes = 0;  ///< resident size charged to the cache
+
+  const core::JigsawFormat& format() const {
+    return options.metadata_layout == core::MetadataLayout::kNaive
+               ? naive_format
+               : interleaved_format;
+  }
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineConfig config = {});
+  ~Engine() = default;
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Compiles (or fetches from cache) the serving artifact for `a`.
+  /// Typed failures: kInvalidArgument (empty operand, bad BLOCK_TILE),
+  /// kReorderFailed (kRaw policy and no candidate reorder succeeded),
+  /// kInternal (a freshly built format failed validation),
+  /// kCapacityExhausted (artifact larger than a cache shard). Requests
+  /// with a ReorderOptions::column_filter are compiled but never cached
+  /// (a std::function has no stable identity to key on).
+  Result<std::shared_ptr<const CompiledMatrix>> compile(
+      const DenseMatrix<fp16_t>& a, const EngineOptions& options = {});
+
+  /// Enqueues one RHS against a compiled artifact on the worker pool. The
+  /// RHS is taken by value (moved into the job); the artifact is shared
+  /// read-only. The future resolves to the exact product or a typed
+  /// error; worker threads never throw.
+  std::future<Result<DenseMatrix<float>>> submit(
+      std::shared_ptr<const CompiledMatrix> handle, DenseMatrix<fp16_t> b,
+      EngineOptions::Run run = {});
+
+  /// Synchronous execution on the caller's thread (submit without the
+  /// pool — same routing, same errors).
+  Result<DenseMatrix<float>> execute(const CompiledMatrix& handle,
+                                     const DenseMatrix<fp16_t>& b,
+                                     const EngineOptions::Run& run = {}) const;
+
+  /// Simulated kernel report of executing this artifact against an
+  /// n-column RHS at `version` (defaults to the compiled version). Raw
+  /// artifacts report the best BLOCK_TILE candidate; degraded/hybrid
+  /// artifacts report the fused three-pipe kernel.
+  gpusim::KernelReport cost(const CompiledMatrix& handle, std::size_t n,
+                            const EngineOptions::Run& run = {}) const;
+
+  CacheStats cache_stats() const { return cache_.stats(); }
+  void clear_cache() { cache_.clear(); }
+  const EngineConfig& config() const { return config_; }
+  int worker_count() const { return pool_.size(); }
+
+ private:
+  Result<std::shared_ptr<const CompiledMatrix>> compile_artifact(
+      const DenseMatrix<fp16_t>& a, const EngineOptions& options,
+      ExecutionPolicy policy, const CacheKey& key) const;
+
+  EngineConfig config_;
+  PlanCache cache_;
+  ThreadPool pool_;
+};
+
+/// Content hash (FNV-1a over shape and element bits) — the cache's
+/// matrix identity. Exposed for tests.
+std::uint64_t matrix_content_hash(const DenseMatrix<fp16_t>& a);
+
+/// Hash of every option that changes the compiled artifact (policy plus
+/// the compile section; run-section options never affect the artifact).
+/// ReorderOptions::max_threads is excluded — plans are thread-count
+/// invariant. Exposed for tests.
+std::uint64_t options_content_hash(const EngineOptions& options,
+                                   ExecutionPolicy resolved_policy);
+
+}  // namespace jigsaw::engine
+
+namespace jigsaw {
+using engine::CacheStats;
+using engine::CompiledMatrix;
+using engine::Engine;
+using engine::EngineConfig;
+using core::EngineOptions;    // NOLINT(misc-unused-using-decls)
+using core::ExecutionPolicy;  // NOLINT(misc-unused-using-decls)
+}  // namespace jigsaw

@@ -1,0 +1,408 @@
+// Serving engine (src/engine): the unified compile/submit facade, the
+// fingerprint-keyed sharded LRU plan cache, and concurrent execution on
+// the worker pool. The acceptance contract of the tier:
+//   * a same-content recompile is a cache hit — the same CompiledMatrix
+//     pointer comes back and no second reorder runs (proved through the
+//     obs "reorder.plans" counter);
+//   * eviction honors the capacity-bytes bound, LRU first;
+//   * concurrent submits are bit-identical to single-thread execution
+//     and allclose to the dense reference (differential-harness sweep);
+//   * compile under a reorder fault follows the policy: kRaw returns a
+//     typed kReorderFailed, kChecked degrades onto the hybrid pipes and
+//     stays exact.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "common/status.hpp"
+#include "dlmc/suite.hpp"
+#include "engine/engine.hpp"
+#include "matrix/reference.hpp"
+#include "obs/metrics.hpp"
+
+namespace jigsaw::engine {
+namespace {
+
+struct SweepCase {
+  std::size_t m, k;
+  int sparsity_pct;
+  std::size_t v;
+  std::uint64_t seed;
+};
+
+/// Subset of the differential-harness ladder (tests/test_differential.cpp):
+/// sparsity rungs crossed with vector widths plus a ragged shape.
+const std::vector<SweepCase>& sweep_cases() {
+  static const std::vector<SweepCase> kCases = {
+      {64, 128, 70, 2, 11},  {64, 128, 80, 2, 21},  {128, 256, 80, 4, 22},
+      {64, 128, 90, 8, 31},  {128, 256, 98, 8, 42}, {56, 100, 85, 2, 51},
+      {100, 130, 92, 4, 52},
+  };
+  return kCases;
+}
+
+DenseMatrix<fp16_t> lhs_for(const SweepCase& c) {
+  return dlmc::make_lhs({c.m, c.k}, c.sparsity_pct / 100.0, c.v, c.seed)
+      .values();
+}
+
+DenseMatrix<fp16_t> sample_lhs(std::uint64_t seed = 11) {
+  return dlmc::make_lhs({64, 128}, 0.8, 4, seed).values();
+}
+
+/// The reorder-breaking matrix from tests/test_checked.cpp: at
+/// BLOCK_TILE 16, panel 0 holds an all-ones 16x16 block (every row has 16
+/// nonzeros — structurally impossible under 2:4) plus one straggler
+/// column; panel 1 is trivially compliant.
+DenseMatrix<fp16_t> adversarial_matrix() {
+  DenseMatrix<fp16_t> a(32, 32);
+  for (std::size_t r = 0; r < 16; ++r) {
+    for (std::size_t c = 0; c < 16; ++c) a(r, c) = fp16_t(1.0f);
+  }
+  a(5, 24) = fp16_t(2.0f);
+  for (std::size_t r = 0; r < 16; ++r) {
+    a(16 + r, r) = fp16_t(0.5f + 0.03125f * static_cast<float>(r));
+  }
+  return a;
+}
+
+double counter_value(const char* name) {
+  return obs::counter(name).value();
+}
+
+// ---- Cache identity -------------------------------------------------------
+
+TEST(EngineCache, RecompileIsAHitWithNoSecondReorder) {
+  obs::reset_metrics();
+  obs::set_metrics_enabled(true);
+  Engine engine;
+  const auto a = sample_lhs();
+
+  auto first = engine.compile(a);
+  ASSERT_TRUE(first.ok()) << first.status().to_string();
+  const double reorders_after_first = counter_value("reorder.plans");
+  EXPECT_GT(reorders_after_first, 0.0);
+
+  // Same content, same options — by a separate (copied) matrix object, so
+  // the hit is keyed on content, not identity.
+  const DenseMatrix<fp16_t> copy = a;
+  auto second = engine.compile(copy);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value().get(), second.value().get())
+      << "cache hit must return the same CompiledMatrix";
+  EXPECT_EQ(counter_value("reorder.plans"), reorders_after_first)
+      << "a cache hit must not re-run the reorder";
+  EXPECT_EQ(counter_value("engine.cache.hits"), 1.0);
+  EXPECT_EQ(counter_value("engine.cache.misses"), 1.0);
+
+  const CacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.bytes, first.value()->footprint_bytes);
+  obs::set_metrics_enabled(false);
+}
+
+TEST(EngineCache, DifferentOptionsAndContentMissSeparately) {
+  Engine engine;
+  const auto a = sample_lhs(11);
+
+  auto base = engine.compile(a);
+  ASSERT_TRUE(base.ok());
+
+  EngineOptions other;
+  other.compile.reorder.seed = 99;  // plan-affecting knob -> new artifact
+  auto reseeded = engine.compile(a, other);
+  ASSERT_TRUE(reseeded.ok());
+  EXPECT_NE(base.value().get(), reseeded.value().get());
+
+  auto different = engine.compile(sample_lhs(12));
+  ASSERT_TRUE(different.ok());
+  EXPECT_NE(base.value().get(), different.value().get());
+
+  EXPECT_EQ(engine.cache_stats().entries, 3u);
+  EXPECT_EQ(engine.cache_stats().misses, 3u);
+}
+
+TEST(EngineCache, ColumnFilterRequestsBypassTheCache) {
+  Engine engine;
+  const auto a = sample_lhs();
+  EngineOptions options;
+  options.compile.reorder.column_filter = [](std::size_t,
+                                             std::uint32_t) { return true; };
+  auto first = engine.compile(a, options);
+  auto second = engine.compile(a, options);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(first.value().get(), second.value().get());
+  EXPECT_EQ(engine.cache_stats().entries, 0u);
+}
+
+// ---- Eviction and the byte bound ------------------------------------------
+
+TEST(EngineCache, EvictionHonorsTheCapacityBound) {
+  const auto a = sample_lhs(1);
+  Engine probe;
+  auto probed = probe.compile(a);
+  ASSERT_TRUE(probed.ok());
+  const std::size_t artifact_bytes = probed.value()->footprint_bytes;
+
+  // Room for two artifacts of this shape, one shard so LRU order is
+  // global. Every matrix below has the same shape and sparsity, so the
+  // footprints are nearly identical.
+  EngineConfig config;
+  config.cache_capacity_bytes = artifact_bytes * 5 / 2;
+  config.cache_shards = 1;
+  Engine engine(config);
+
+  auto first = engine.compile(sample_lhs(1));
+  auto second = engine.compile(sample_lhs(2));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(engine.cache_stats().evictions, 0u);
+  EXPECT_LE(engine.cache_stats().bytes, engine.cache_stats().capacity_bytes);
+
+  // Third artifact exceeds the bound -> the least-recently-used (first)
+  // entry must go.
+  auto third = engine.compile(sample_lhs(3));
+  ASSERT_TRUE(third.ok());
+  EXPECT_GE(engine.cache_stats().evictions, 1u);
+  EXPECT_LE(engine.cache_stats().bytes, engine.cache_stats().capacity_bytes);
+
+  // The survivor is still a hit; the evicted one recompiles as a miss.
+  const std::uint64_t hits_before = engine.cache_stats().hits;
+  auto second_again = engine.compile(sample_lhs(2));
+  ASSERT_TRUE(second_again.ok());
+  EXPECT_EQ(second_again.value().get(), second.value().get());
+  EXPECT_EQ(engine.cache_stats().hits, hits_before + 1);
+
+  const std::uint64_t misses_before = engine.cache_stats().misses;
+  auto first_again = engine.compile(sample_lhs(1));
+  ASSERT_TRUE(first_again.ok());
+  EXPECT_NE(first_again.value().get(), first.value().get());
+  EXPECT_EQ(engine.cache_stats().misses, misses_before + 1);
+}
+
+TEST(EngineCache, OversizedArtifactIsCapacityExhausted) {
+  EngineConfig config;
+  config.cache_capacity_bytes = 64;  // smaller than any real artifact
+  config.cache_shards = 1;
+  Engine engine(config);
+  auto compiled = engine.compile(sample_lhs());
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_EQ(compiled.status().code(), StatusCode::kCapacityExhausted);
+}
+
+TEST(EngineCache, ClearDropsEntriesButKeepsHandlesAlive) {
+  Engine engine;
+  const auto a = sample_lhs();
+  auto compiled = engine.compile(a);
+  ASSERT_TRUE(compiled.ok());
+  engine.clear_cache();
+  EXPECT_EQ(engine.cache_stats().entries, 0u);
+  EXPECT_EQ(engine.cache_stats().bytes, 0u);
+  // The handed-out artifact still executes.
+  const auto b = dlmc::make_rhs(a.cols(), 8, 3);
+  auto result = engine.execute(*compiled.value(), b);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(allclose(result.value(), reference_gemm(a, b), a.cols()));
+}
+
+// ---- Typed errors at the boundary -----------------------------------------
+
+TEST(EngineErrors, EmptyMatrixAndBadTileAreInvalidArgument) {
+  Engine engine;
+  EXPECT_EQ(engine.compile(DenseMatrix<fp16_t>()).status().code(),
+            StatusCode::kInvalidArgument);
+  EngineOptions options;
+  options.compile.block_tile = 48;
+  EXPECT_EQ(engine.compile(sample_lhs(), options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EngineErrors, WrongShapeSubmitResolvesToInvalidArgument) {
+  Engine engine;
+  const auto a = sample_lhs();
+  auto compiled = engine.compile(a);
+  ASSERT_TRUE(compiled.ok());
+  auto future =
+      engine.submit(compiled.value(), dlmc::make_rhs(a.cols() + 16, 8, 3));
+  EXPECT_EQ(future.get().status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.submit(nullptr, dlmc::make_rhs(a.cols(), 8, 3))
+                .get()
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---- Compile under fault: policy routing ----------------------------------
+
+TEST(EnginePolicy, RawPolicyReturnsTypedReorderFailure) {
+  Engine engine;
+  EngineOptions options;
+  options.policy = ExecutionPolicy::kRaw;
+  options.compile.version = core::KernelVersion::kV1;  // single candidate
+  options.compile.block_tile = 16;
+  options.compile.reorder.rescue_attempts = 0;
+  auto compiled = engine.compile(adversarial_matrix(), options);
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_EQ(compiled.status().code(), StatusCode::kReorderFailed);
+}
+
+TEST(EnginePolicy, CheckedPolicyDegradesTheSameFaultAndStaysExact) {
+  Engine engine;
+  EngineOptions options;
+  options.policy = ExecutionPolicy::kChecked;
+  options.compile.block_tile = 16;
+  options.compile.reorder.tile.block_tile_m = 16;
+  const auto a = adversarial_matrix();
+  auto compiled = engine.compile(a, options);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().to_string();
+  const CompiledMatrix& handle = *compiled.value();
+  EXPECT_TRUE(handle.degraded);
+  ASSERT_TRUE(handle.hybrid.has_value());
+  EXPECT_EQ(handle.degradation.panels_degraded, 1u);
+  EXPECT_EQ(handle.degradation.panels_total, 2u);
+
+  const auto b = dlmc::make_rhs(a.cols(), 16, 7);
+  auto result = engine.submit(compiled.value(), b).get();
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_TRUE(allclose(result.value(), reference_gemm(a, b), a.cols()));
+}
+
+TEST(EnginePolicy, HybridAndRawRoutesMatchTheReference) {
+  Engine engine;
+  const auto a = sample_lhs();
+  const auto b = dlmc::make_rhs(a.cols(), 16, 5);
+  const auto ref = reference_gemm(a, b);
+  for (const ExecutionPolicy policy :
+       {ExecutionPolicy::kRaw, ExecutionPolicy::kChecked,
+        ExecutionPolicy::kHybrid}) {
+    EngineOptions options;
+    options.policy = policy;
+    auto compiled = engine.compile(a, options);
+    ASSERT_TRUE(compiled.ok())
+        << core::to_string(policy) << ": " << compiled.status().to_string();
+    EXPECT_EQ(compiled.value()->policy, policy);
+    auto result = engine.submit(compiled.value(), b).get();
+    ASSERT_TRUE(result.ok()) << core::to_string(policy);
+    EXPECT_TRUE(allclose(result.value(), ref, a.cols()))
+        << core::to_string(policy);
+  }
+  // Three policies -> three distinct cache entries (policy is part of the
+  // options hash).
+  EXPECT_EQ(engine.cache_stats().entries, 3u);
+}
+
+// ---- Concurrency ----------------------------------------------------------
+
+TEST(EngineConcurrency, EightThreadSubmitsAreBitIdenticalToSingleThread) {
+  EngineConfig config;
+  config.worker_threads = 8;
+  Engine engine(config);
+
+  for (const SweepCase& c : sweep_cases()) {
+    const auto a = lhs_for(c);
+    const auto b = dlmc::make_rhs(c.k, 32, c.seed + 500);
+    auto compiled = engine.compile(a);
+    ASSERT_TRUE(compiled.ok()) << compiled.status().to_string();
+
+    // Single-thread result on the caller's thread.
+    auto single = engine.execute(*compiled.value(), b);
+    ASSERT_TRUE(single.ok());
+    EXPECT_TRUE(allclose(single.value(), reference_gemm(a, b), a.cols()));
+
+    // Eight concurrent submits of the same request must be bitwise equal
+    // to the single-thread product (shared read-only artifact, exact
+    // functional path — no nondeterminism allowed).
+    std::vector<std::future<Result<DenseMatrix<float>>>> futures;
+    for (int i = 0; i < 8; ++i) {
+      futures.push_back(engine.submit(compiled.value(), b));
+    }
+    for (auto& f : futures) {
+      auto result = f.get();
+      ASSERT_TRUE(result.ok()) << result.status().to_string();
+      EXPECT_TRUE(result.value() == single.value())
+          << "concurrent submit diverged from single-thread execution";
+    }
+  }
+}
+
+TEST(EngineConcurrency, MixedMatricesInFlightStayIsolated) {
+  EngineConfig config;
+  config.worker_threads = 4;
+  Engine engine(config);
+
+  struct InFlight {
+    DenseMatrix<fp16_t> a, b;
+    std::future<Result<DenseMatrix<float>>> future;
+  };
+  std::vector<InFlight> jobs;
+  for (const SweepCase& c : sweep_cases()) {
+    auto a = lhs_for(c);
+    auto b = dlmc::make_rhs(c.k, 16, c.seed + 900);
+    auto compiled = engine.compile(a);
+    ASSERT_TRUE(compiled.ok());
+    auto future = engine.submit(compiled.value(), b);
+    jobs.push_back({std::move(a), std::move(b), std::move(future)});
+  }
+  for (auto& job : jobs) {
+    auto result = job.future.get();
+    ASSERT_TRUE(result.ok()) << result.status().to_string();
+    EXPECT_TRUE(allclose(result.value(), reference_gemm(job.a, job.b),
+                         job.a.cols()));
+  }
+}
+
+// ---- Options surface ------------------------------------------------------
+
+TEST(EngineOptionsSurface, CheckedShimRoundTrips) {
+  core::CheckedRunOptions shim;
+  shim.tile.block_tile_m = 32;
+  shim.cuda_fallback_max_nnz = 5;
+  shim.reorder.seed = 1234;
+  const EngineOptions options = shim.to_engine_options();
+  EXPECT_EQ(options.policy, ExecutionPolicy::kChecked);
+  EXPECT_EQ(options.compile.block_tile, 32);
+  EXPECT_EQ(options.compile.cuda_route_max_nnz, 5u);
+  EXPECT_EQ(options.compile.reorder.seed, 1234u);
+  const core::CheckedRunOptions back = core::checked_options_from(options);
+  EXPECT_EQ(back.tile.block_tile_m, 32);
+  EXPECT_EQ(back.cuda_fallback_max_nnz, 5u);
+  EXPECT_EQ(back.reorder.seed, 1234u);
+}
+
+TEST(EngineOptionsSurface, HashCoversPlanAffectingKnobsOnly) {
+  const EngineOptions base;
+  const std::uint64_t h0 =
+      options_content_hash(base, ExecutionPolicy::kChecked);
+
+  EngineOptions reseeded;
+  reseeded.compile.reorder.seed = 7;
+  EXPECT_NE(options_content_hash(reseeded, ExecutionPolicy::kChecked), h0);
+
+  EXPECT_NE(options_content_hash(base, ExecutionPolicy::kRaw), h0);
+
+  // Thread count never changes the plan, so it must not fragment the
+  // cache; run-section options don't affect the artifact either.
+  EngineOptions threaded;
+  threaded.compile.reorder.max_threads = 3;
+  threaded.run.compute_values = false;
+  EXPECT_EQ(options_content_hash(threaded, ExecutionPolicy::kChecked), h0);
+}
+
+TEST(EngineOptionsSurface, MatrixHashIsContentBased) {
+  const auto a = sample_lhs(11);
+  const DenseMatrix<fp16_t> copy = a;
+  EXPECT_EQ(matrix_content_hash(a), matrix_content_hash(copy));
+  auto mutated = a;
+  mutated(0, 0) = fp16_t(float(mutated(0, 0)) + 1.0f);
+  EXPECT_NE(matrix_content_hash(a), matrix_content_hash(mutated));
+  // Shape participates even when the payload bytes agree.
+  EXPECT_NE(matrix_content_hash(DenseMatrix<fp16_t>(2, 8)),
+            matrix_content_hash(DenseMatrix<fp16_t>(8, 2)));
+}
+
+}  // namespace
+}  // namespace jigsaw::engine

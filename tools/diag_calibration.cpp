@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
       // ablation versions
       for (const auto ver : {core::KernelVersion::kV0, core::KernelVersion::kV1,
                              core::KernelVersion::kV2, core::KernelVersion::kV3}) {
-        core::JigsawPlanOptions po;
+        core::EngineOptions::Compile po;
         po.version = ver;
         po.block_tile = 64;
         const auto plan = core::jigsaw_plan(a.values(), po);
