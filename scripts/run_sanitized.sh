@@ -1,26 +1,49 @@
 #!/usr/bin/env bash
-# Builds the tree with ASan/UBSan (the JIGSAW_SANITIZE CMake option) in a
-# separate build directory, runs the full test suite, and finishes with a
-# longer fuzzer campaign than the ctest-registered short run. Memory and
-# UB bugs in the untrusted-input paths (serialization, validation) are
-# exactly what the checked tier exists to contain, so they get hunted
-# under sanitizers here.
+# Sanitizer driver with two modes (docs/STATIC_ANALYSIS.md):
+#
+#   scripts/run_sanitized.sh [address]   ASan+UBSan over the full
+#       unit|property suite plus a long fuzz_format campaign — memory and
+#       UB bugs in the untrusted-input paths (serialization, validation)
+#       are exactly what the checked tier exists to contain.
+#
+#   scripts/run_sanitized.sh thread      ThreadSanitizer over the
+#       concurrency surfaces: the engine suites (test_engine,
+#       test_engine_stress) and the differential harness that submits
+#       concurrently. TSan builds go to their own build directory and
+#       disable OpenMP (libgomp is uninstrumented; see root CMakeLists).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR=build-sanitized
+MODE="${1:-address}"
 
-cmake -B "$BUILD_DIR" -S . -DJIGSAW_SANITIZE=ON
-cmake --build "$BUILD_DIR" -j
+case "$MODE" in
+  address)
+    BUILD_DIR=build-sanitized
+    cmake -B "$BUILD_DIR" -S . -DJIGSAW_SANITIZE=address
+    cmake --build "$BUILD_DIR" -j
+    export ASAN_OPTIONS=detect_leaks=0
+    # unit + property only: the fuzz-label corpus replay is redundant with
+    # the longer campaigns below, and future slow labels stay out of the
+    # sanitizer's (already ~10x slower) critical path.
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
+      -L "unit|property"
+    "$BUILD_DIR"/tools/fuzz_format --iters 5000 --seed 1
+    "$BUILD_DIR"/tools/fuzz_format --iters 5000 --seed 2
+    ;;
+  thread)
+    BUILD_DIR=build-tsan
+    cmake -B "$BUILD_DIR" -S . -DJIGSAW_SANITIZE=thread
+    cmake --build "$BUILD_DIR" -j
+    # halt_on_error: a single race fails the run instead of scrolling by;
+    # second_deadlock_stack helps with the lock-order reports.
+    export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+    ctest --test-dir "$BUILD_DIR" --output-on-failure \
+      -R "EngineStress|Engine|Differential" -L "unit|property"
+    ;;
+  *)
+    echo "usage: $0 [address|thread]" >&2
+    exit 2
+    ;;
+esac
 
-export ASAN_OPTIONS=detect_leaks=0
-# unit + property only: the fuzz-label corpus replay is redundant with the
-# longer campaigns below, and future slow labels stay out of the
-# sanitizer's (already ~10x slower) critical path.
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
-  -L "unit|property"
-
-"$BUILD_DIR"/tools/fuzz_format --iters 5000 --seed 1
-"$BUILD_DIR"/tools/fuzz_format --iters 5000 --seed 2
-
-echo "run_sanitized: all clean"
+echo "run_sanitized($MODE): all clean"

@@ -5,6 +5,8 @@
 // every admissible pv and reports the best configuration.
 #pragma once
 
+#include <string>
+
 #include "baselines/spmm_kernel.hpp"
 
 namespace jigsaw::baselines {

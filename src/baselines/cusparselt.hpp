@@ -5,6 +5,8 @@
 // describe.
 #pragma once
 
+#include <string>
+
 #include "baselines/spmm_kernel.hpp"
 
 namespace jigsaw::baselines {

@@ -4,6 +4,8 @@
 // diagnosed at M = K = 2048, N = 512 (§4.2's outlier analysis).
 #pragma once
 
+#include <string>
+
 #include "baselines/spmm_kernel.hpp"
 
 namespace jigsaw::baselines {

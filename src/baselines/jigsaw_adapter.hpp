@@ -5,6 +5,9 @@
 // reported kernel duration (it is available separately in the plan).
 #pragma once
 
+#include <string>
+#include <utility>
+
 #include "baselines/spmm_kernel.hpp"
 #include "core/kernel.hpp"
 

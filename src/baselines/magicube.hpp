@@ -6,6 +6,8 @@
 // conflicts, ~10% fewer instructions than its v=2/4 paths).
 #pragma once
 
+#include <string>
+
 #include "baselines/spmm_kernel.hpp"
 
 namespace jigsaw::baselines {

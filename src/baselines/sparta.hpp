@@ -5,6 +5,8 @@
 // observation that SparTA stops improving as sparsity rises (§4.2).
 #pragma once
 
+#include <string>
+
 #include "baselines/spmm_kernel.hpp"
 #include "matrix/csr.hpp"
 

@@ -3,6 +3,8 @@
 // paper attributes its A100 performance gap to exactly that (§4.2).
 #pragma once
 
+#include <string>
+
 #include "baselines/spmm_kernel.hpp"
 #include "matrix/csr.hpp"
 

@@ -6,6 +6,9 @@
 // the same VENOM-pruned matrices.
 #pragma once
 
+#include <cstdint>
+#include <string>
+
 #include "baselines/spmm_kernel.hpp"
 
 namespace jigsaw::baselines {

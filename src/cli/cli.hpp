@@ -14,6 +14,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace jigsaw::cli {

@@ -10,6 +10,7 @@
 //     running.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <variant>
@@ -50,13 +51,17 @@ inline const char* to_string(StatusCode code) {
 }
 
 /// Error code plus human-readable detail. Default-constructed is OK.
-class Status {
+/// The class itself is [[nodiscard]]: a dropped Status is a silently
+/// swallowed failure, so every call site must consume or propagate it
+/// (JIGSAW_RETURN_IF_ERROR) — enforced again, source-level, by the
+/// `nodiscard-status` and `discarded-status` rules of tools/jigsaw_lint.
+class [[nodiscard]] Status {
  public:
   Status() = default;
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  static Status Ok() { return Status(); }
+  [[nodiscard]] static Status Ok() { return Status(); }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

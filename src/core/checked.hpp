@@ -18,8 +18,10 @@
 //     caller can observe what the tier swallowed.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.hpp"
@@ -85,8 +87,8 @@ struct CheckedArtifact {
 /// kInvalidArgument for contract violations and kInternal should a built
 /// format fail its own validation. Counters are published to the metrics
 /// registry on every exit path.
-Result<CheckedArtifact> checked_compile(const DenseMatrix<fp16_t>& a,
-                                        const CheckedRunOptions& options = {});
+[[nodiscard]] Result<CheckedArtifact> checked_compile(
+    const DenseMatrix<fp16_t>& a, const CheckedRunOptions& options = {});
 
 struct CheckedRunResult {
   DenseMatrix<float> c;            ///< exact product, whatever the route
@@ -110,16 +112,16 @@ CheckedRunResult checked_execute(const CheckedArtifact& artifact,
 /// workload-shaped failures; returns kInvalidArgument for shape
 /// mismatches and kInternal should a built format fail its own
 /// validation.
-Result<CheckedRunResult> run_spmm_checked(const DenseMatrix<fp16_t>& a,
-                                          const DenseMatrix<fp16_t>& b,
-                                          const gpusim::CostModel& cost_model,
-                                          const CheckedRunOptions& options = {});
+[[nodiscard]] Result<CheckedRunResult> run_spmm_checked(
+    const DenseMatrix<fp16_t>& a, const DenseMatrix<fp16_t>& b,
+    const gpusim::CostModel& cost_model,
+    const CheckedRunOptions& options = {});
 
 /// Format-level checked execution for untrusted formats (e.g. loaded from
 /// disk): deep-validates up front, then runs the functional kernel. A
 /// validation failure is returned as its Status and counted in `report`
 /// when one is supplied.
-Result<DenseMatrix<float>> run_spmm_checked(
+[[nodiscard]] Result<DenseMatrix<float>> run_spmm_checked(
     const JigsawFormat& format, const DenseMatrix<fp16_t>& b,
     DegradationReport* report = nullptr);
 

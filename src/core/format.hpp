@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "common/status.hpp"
@@ -118,7 +119,7 @@ class JigsawFormat {
   /// metadata words whose per-group indices are strictly increasing (the
   /// ≤2-per-4-group hardware encoding), de-interleaving the §3.4.3 layout
   /// first. Returns kInvalidFormat (with detail) on the first violation.
-  Status validate() const;
+  [[nodiscard]] Status validate() const;
 
   /// The paper's §4.6 closed-form estimate, 5MK/8 + 4MK/BLOCK_TILE +
   /// 4MK/MMA_TILE bytes, returned alongside the dense baseline (2MK) so

@@ -1,0 +1,31 @@
+// Shared allocation and shape bounds of the untrusted-format paths.
+//
+// The deserializer (core/serialize.cpp), the deep validator
+// (core/format_validate.cpp), and the blob fuzzer (tools/fuzz_format)
+// must all agree on what "absurdly large" means: a hostile header field
+// may not force an allocation bigger than these bounds anywhere between
+// the first byte read and the last invariant checked. Keeping the
+// constants in one header — instead of the duplicated literals they
+// replace — is pinned by the `no-magic-bounds` rule of tools/jigsaw_lint.
+#pragma once
+
+#include <cstdint>
+
+namespace jigsaw::core {
+
+/// No serialized array may declare more elements than this (the
+/// per-read path additionally bounds allocations by the bytes actually
+/// left in the stream, so the effective bound is usually far smaller).
+inline constexpr std::uint64_t kMaxFormatElements = std::uint64_t{1} << 30;
+
+/// Largest matrix dimension (rows or cols) a format may declare. The
+/// validator allocates O(cols) scratch, so the bound must hold *before*
+/// any shape-derived allocation happens.
+inline constexpr std::uint64_t kMaxFormatDimension = std::uint64_t{1} << 30;
+
+/// The only BLOCK_TILE panel heights the kernel supports (§4.1).
+constexpr bool block_tile_valid(std::int64_t block_tile) {
+  return block_tile == 16 || block_tile == 32 || block_tile == 64;
+}
+
+}  // namespace jigsaw::core

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/format.hpp"
+#include "core/format_limits.hpp"
 
 namespace jigsaw::core {
 
@@ -47,8 +48,12 @@ Status JigsawFormat::validate() const {
   // ---- Shape and configuration.
   JIGSAW_VALIDATE(rows_ > 0 && cols_ > 0,
                   "empty shape " << rows_ << "x" << cols_);
-  JIGSAW_VALIDATE(tile_.block_tile_m == 16 || tile_.block_tile_m == 32 ||
-                      tile_.block_tile_m == 64,
+  JIGSAW_VALIDATE(rows_ <= kMaxFormatDimension && cols_ <= kMaxFormatDimension,
+                  "shape " << rows_ << "x" << cols_ << " exceeds the "
+                           << kMaxFormatDimension
+                           << " dimension limit: refused before any "
+                              "shape-derived allocation below");
+  JIGSAW_VALIDATE(block_tile_valid(tile_.block_tile_m),
                   "BLOCK_TILE must be 16, 32 or 64, got "
                       << tile_.block_tile_m);
   JIGSAW_VALIDATE(layout_ == MetadataLayout::kNaive ||
@@ -104,6 +109,8 @@ Status JigsawFormat::validate() const {
 
   // ---- col_idx_array: in-range original ids, unique within each panel
   // (a duplicate would double-count one B row into two tile slots).
+  // jigsaw-lint: allow(bounded-alloc): cols_ was bounded by
+  // kMaxFormatDimension before this shape-derived scratch is sized.
   std::vector<std::uint32_t> seen_at(cols_,
                                      static_cast<std::uint32_t>(-1));
   for (std::size_t p = 0; p < panels_.size(); ++p) {

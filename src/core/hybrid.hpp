@@ -23,6 +23,10 @@
 //     independent resources).
 #pragma once
 
+#include <cstdint>
+#include <optional>
+#include <vector>
+
 #include "core/kernel.hpp"
 
 namespace jigsaw::core {

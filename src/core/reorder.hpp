@@ -24,6 +24,7 @@
 // exist so the equivalence tests can prove that.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <vector>

@@ -10,6 +10,7 @@
 
 #include "common/checksum.hpp"
 #include "common/error.hpp"
+#include "core/format_limits.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -18,11 +19,6 @@ namespace jigsaw::core {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x4a494753;  // "JIGS"
-
-// Sanity bound: no serialized array may exceed 1G elements. The per-read
-// bound below additionally caps allocations by the bytes actually left in
-// the stream, so a hostile 8-byte header cannot force a huge allocation.
-constexpr std::uint64_t kMaxElements = 1ull << 30;
 
 template <typename T>
 void write_pod(std::ostream& os, const T& v) {
@@ -77,10 +73,11 @@ class Reader {
   Status read_array(std::vector<T>& v, const char* name, bool checksummed) {
     std::uint64_t n = 0;
     JIGSAW_RETURN_IF_ERROR(read_pod(n, name));
-    if (n > kMaxElements) {
+    if (n > kMaxFormatElements) {
       return Status(StatusCode::kInvalidFormat,
                     std::string(name) + " declares " + std::to_string(n) +
-                        " elements, limit " + std::to_string(kMaxElements));
+                        " elements, limit " +
+                        std::to_string(kMaxFormatElements));
     }
     const std::uint64_t bytes = n * sizeof(T);
     if (bytes > remaining_) {
@@ -91,6 +88,9 @@ class Reader {
                         " payload bytes, stream has " +
                         std::to_string(remaining_));
     }
+    // jigsaw-lint: allow(bounded-alloc): this IS the bounded helper —
+    // n is capped by kMaxFormatElements and by the bytes remaining in
+    // the stream, both checked above.
     v.resize(n);
     if (n > 0) JIGSAW_RETURN_IF_ERROR(read_raw(v.data(), bytes, name));
     if (checksummed) {
@@ -207,10 +207,20 @@ class serialize_detail {
                       "header CRC32 mismatch");
       }
     }
-    if (block_tile != 16 && block_tile != 32 && block_tile != 64) {
+    if (!block_tile_valid(block_tile)) {
       return Status(StatusCode::kInvalidFormat,
                     "BLOCK_TILE must be 16, 32 or 64, got " +
                         std::to_string(block_tile));
+    }
+    if (rows > kMaxFormatDimension || cols > kMaxFormatDimension) {
+      // Bounded here, before the shape reaches the validator: validate()
+      // allocates O(cols) scratch, and a hostile v1 blob carries no
+      // header CRC to catch a scribbled dimension field.
+      return Status(StatusCode::kInvalidFormat,
+                    "shape " + std::to_string(rows) + "x" +
+                        std::to_string(cols) + " exceeds the " +
+                        std::to_string(kMaxFormatDimension) +
+                        " dimension limit");
     }
     if (layout > 1) {
       return Status(StatusCode::kInvalidFormat,

@@ -20,6 +20,7 @@
 // rejected instead of crashing or over-allocating.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -51,12 +52,13 @@ JigsawFormat load_format(std::istream& is);
 ///   kUnsupportedVersion blob version this build cannot read
 ///   kTruncatedStream    stream ends before its declared payload
 ///   kChecksumMismatch   a v2 section fails its CRC32
-Result<JigsawFormat> load_format_checked(std::istream& is);
+[[nodiscard]] Result<JigsawFormat> load_format_checked(std::istream& is);
 
 /// Convenience file wrappers.
 void save_format_file(const JigsawFormat& format, const std::string& path);
 JigsawFormat load_format_file(const std::string& path);
 /// Non-throwing file loader; kIoError when the file cannot be opened.
-Result<JigsawFormat> load_format_file_checked(const std::string& path);
+[[nodiscard]] Result<JigsawFormat> load_format_file_checked(
+    const std::string& path);
 
 }  // namespace jigsaw::core

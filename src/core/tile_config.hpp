@@ -10,6 +10,7 @@
 #include <cstddef>
 
 #include "common/error.hpp"
+#include "core/format_limits.hpp"
 
 namespace jigsaw::core {
 
@@ -52,8 +53,7 @@ struct TileConfig {
   }
 
   void validate() const {
-    JIGSAW_CHECK_MSG(block_tile_m == 16 || block_tile_m == 32 ||
-                         block_tile_m == 64,
+    JIGSAW_CHECK_MSG(block_tile_valid(block_tile_m),
                      "BLOCK_TILE must be 16, 32 or 64, got " << block_tile_m);
   }
 };

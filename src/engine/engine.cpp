@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "core/format_limits.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -106,7 +107,7 @@ Result<std::shared_ptr<const CompiledMatrix>> Engine::compile(
     return Status(StatusCode::kInvalidArgument, "A is empty");
   }
   const int bt = options.compile.block_tile;
-  if (bt != 16 && bt != 32 && bt != 64) {
+  if (!core::block_tile_valid(bt)) {
     return Status(StatusCode::kInvalidArgument,
                   "BLOCK_TILE must be 16, 32 or 64, got " + std::to_string(bt));
   }

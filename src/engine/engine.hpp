@@ -119,7 +119,7 @@ class Engine {
   /// kCapacityExhausted (artifact larger than a cache shard). Requests
   /// with a ReorderOptions::column_filter are compiled but never cached
   /// (a std::function has no stable identity to key on).
-  Result<std::shared_ptr<const CompiledMatrix>> compile(
+  [[nodiscard]] Result<std::shared_ptr<const CompiledMatrix>> compile(
       const DenseMatrix<fp16_t>& a, const EngineOptions& options = {});
 
   /// Enqueues one RHS against a compiled artifact on the worker pool. The
@@ -132,9 +132,9 @@ class Engine {
 
   /// Synchronous execution on the caller's thread (submit without the
   /// pool — same routing, same errors).
-  Result<DenseMatrix<float>> execute(const CompiledMatrix& handle,
-                                     const DenseMatrix<fp16_t>& b,
-                                     const EngineOptions::Run& run = {}) const;
+  [[nodiscard]] Result<DenseMatrix<float>> execute(
+      const CompiledMatrix& handle, const DenseMatrix<fp16_t>& b,
+      const EngineOptions::Run& run = {}) const;
 
   /// Simulated kernel report of executing this artifact against an
   /// n-column RHS at `version` (defaults to the compiled version). Raw
@@ -149,7 +149,7 @@ class Engine {
   int worker_count() const { return pool_.size(); }
 
  private:
-  Result<std::shared_ptr<const CompiledMatrix>> compile_artifact(
+  [[nodiscard]] Result<std::shared_ptr<const CompiledMatrix>> compile_artifact(
       const DenseMatrix<fp16_t>& a, const EngineOptions& options,
       ExecutionPolicy policy, const CacheKey& key) const;
 

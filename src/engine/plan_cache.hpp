@@ -74,7 +74,7 @@ class PlanCache {
   /// dropped, so every caller converges on one shared artifact. Fails
   /// with kCapacityExhausted when `bytes` alone exceeds the shard
   /// capacity (nothing is evicted in that case).
-  Result<std::shared_ptr<const CompiledMatrix>> insert(
+  [[nodiscard]] Result<std::shared_ptr<const CompiledMatrix>> insert(
       const CacheKey& key, std::shared_ptr<const CompiledMatrix> value,
       std::size_t bytes);
 

@@ -17,6 +17,7 @@
 // provided so the benefit is measurable.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 

@@ -8,6 +8,7 @@
 // would actually build.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>

@@ -38,7 +38,9 @@ struct Registry {
 };
 
 Registry& registry() {
-  static Registry* r = new Registry;  // leaked: usable during static dtors
+  // jigsaw-lint: allow(raw-alloc): intentionally leaked singleton so the
+  // registry stays usable during static destructors.
+  static Registry* r = new Registry;
   return *r;
 }
 

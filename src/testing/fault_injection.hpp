@@ -85,7 +85,7 @@ class FormatSurgeon {
   /// in-memory classes run validate() on the corrupted format, blob
   /// classes run load_format_checked on the corrupted image. A non-OK
   /// return is the expected outcome; OK means the defense has a hole.
-  Status probe(CorruptionClass c, std::uint64_t seed = 1) const;
+  [[nodiscard]] Status probe(CorruptionClass c, std::uint64_t seed = 1) const;
 
  private:
   core::JigsawFormat format_;

@@ -1,0 +1,20 @@
+// Bad fixture: unbounded allocation shapes in an untrusted-input file
+// (rules bounded-alloc and raw-alloc; fixture paths opt into the
+// bounded-alloc file list).
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+namespace fixture {
+
+void grow_from_wire(std::vector<std::uint8_t>& buf, std::uint64_t n) {
+  buf.resize(n);  // finding: size straight from parsed input
+}
+
+void* raw(std::size_t n) { return std::malloc(n); }  // finding ×2
+
+std::vector<float> sized(std::uint64_t n) {
+  return std::vector<float>(n);  // finding: sized construction
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Bad fixture: statement-level calls that drop a Status/Result return
+// (rule discarded-status; the name set comes from bad/nodiscard.hpp).
+#include <string>
+
+#include "nodiscard.hpp"
+
+namespace fixture {
+
+void caller(const std::string& blob) {
+  parse_blob(blob);           // finding: whole-statement discard
+  fixture::parse_count(blob); // finding: qualified-name discard
+  Status kept = parse_blob(blob);
+  (void)kept;
+}
+
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// Bad fixture: header without #pragma once that uses std:: symbols it
+// never includes (rule header-hygiene).
+
+namespace fixture {
+
+inline std::vector<std::string> names() { return {}; }
+
+}  // namespace fixture

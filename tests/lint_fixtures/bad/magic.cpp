@@ -1,0 +1,15 @@
+// Bad fixture: the format element bound respelled as a literal instead
+// of core/format_limits.hpp's constant (rule no-magic-bounds).
+#include <cstdint>
+
+namespace fixture {
+
+bool fits(std::uint64_t n) {
+  return n <= (std::uint64_t{1} << 30);  // finding: shifted literal
+}
+
+bool fits_decimal(std::uint64_t n) {
+  return n <= 1073741824;  // finding: spelled-out value
+}
+
+}  // namespace fixture

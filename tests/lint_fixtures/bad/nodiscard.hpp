@@ -1,0 +1,16 @@
+// Bad fixture: a Status-returning declaration without [[nodiscard]]
+// (rule nodiscard-status) and a Result-returning one in the same shape.
+#pragma once
+
+#include <string>
+
+namespace fixture {
+
+class Status {};
+template <typename T>
+class Result {};
+
+Status parse_blob(const std::string& blob);
+Result<int> parse_count(const std::string& blob);
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Bad fixture: observability literals that break the
+// `<subsystem>.<noun>[_<unit>]` convention (rule obs-name).
+namespace obs {
+void add(const char*, double);
+}
+#define JIGSAW_TRACE_SCOPE(category, name)
+
+namespace fixture {
+
+void instrumented() {
+  JIGSAW_TRACE_SCOPE("warpdrive", "warpdrive.spinups");  // finding: category
+  obs::add("engine.CamelCase", 1.0);   // finding: bad characters
+  obs::add("bare_name", 1.0);          // finding: no subsystem segment
+  obs::add("engine.cache_hits", 1.0);  // clean
+}
+
+}  // namespace fixture

@@ -1,0 +1,157 @@
+// Tests for tools/jigsaw_lint: the tokenizer, the suppression mechanism,
+// and the rule catalog, pinned against the committed fixture snippets in
+// tests/lint_fixtures/ (good/ must be silent, bad/ must trip every rule).
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint/lint.hpp"
+
+namespace lint = jigsaw::lint;
+
+namespace {
+
+std::vector<lint::SourceFile> load_dir(const std::string& dir) {
+  std::vector<lint::SourceFile> files;
+  for (const std::string& path : lint::collect_sources({dir})) {
+    files.push_back(lint::load_source(path));
+  }
+  return files;
+}
+
+std::set<std::string> rules_fired(const std::vector<lint::Finding>& fs) {
+  std::set<std::string> rules;
+  for (const lint::Finding& f : fs) rules.insert(f.rule);
+  return rules;
+}
+
+TEST(LintFixtures, GoodDirectoryIsClean) {
+  const auto findings =
+      lint::run_rules(load_dir(std::string(JIGSAW_LINT_FIXTURE_DIR) + "/good"));
+  for (const lint::Finding& f : findings) ADD_FAILURE() << f.to_string();
+}
+
+TEST(LintFixtures, BadDirectoryTripsEveryRule) {
+  const auto findings =
+      lint::run_rules(load_dir(std::string(JIGSAW_LINT_FIXTURE_DIR) + "/bad"));
+  const std::set<std::string> fired = rules_fired(findings);
+  for (const std::string& rule : lint::rule_names()) {
+    EXPECT_TRUE(fired.count(rule)) << "rule never fired on bad/: " << rule;
+  }
+}
+
+TEST(LintFixtures, RuleFilterRestrictsFindings) {
+  const auto findings = lint::run_rules(
+      load_dir(std::string(JIGSAW_LINT_FIXTURE_DIR) + "/bad"), {"obs-name"});
+  ASSERT_FALSE(findings.empty());
+  for (const lint::Finding& f : findings) EXPECT_EQ(f.rule, "obs-name");
+}
+
+TEST(LintFixtures, FindingsCarryFileLineAndSortStably) {
+  const auto findings =
+      lint::run_rules(load_dir(std::string(JIGSAW_LINT_FIXTURE_DIR) + "/bad"));
+  ASSERT_FALSE(findings.empty());
+  EXPECT_TRUE(std::is_sorted(
+      findings.begin(), findings.end(),
+      [](const lint::Finding& a, const lint::Finding& b) {
+        return std::tie(a.file, a.line, a.rule) <
+               std::tie(b.file, b.line, b.rule);
+      }));
+  for (const lint::Finding& f : findings) {
+    EXPECT_GT(f.line, 0) << f.to_string();
+    EXPECT_NE(f.file.find("lint_fixtures"), std::string::npos);
+  }
+}
+
+TEST(LintTokenizer, SkipsCommentsStringsAndPreprocessorLines) {
+  const lint::SourceFile f = lint::parse_source("t.cpp",
+      "// new in a comment\n"
+      "/* malloc(1) in a block */\n"
+      "#define HIDDEN new int  \\\n"
+      "    [continued]\n"
+      "const char* s = \"new \\\" malloc\";\n"
+      "const char* r = R\"(new delete)\";\n");
+  for (const lint::Token& t : f.tokens) {
+    EXPECT_NE(t.text, "new") << "leaked from comment/string/directive";
+    EXPECT_NE(t.text, "malloc");
+    EXPECT_NE(t.text, "HIDDEN");
+    EXPECT_NE(t.text, "continued");
+  }
+  ASSERT_EQ(std::count_if(f.tokens.begin(), f.tokens.end(),
+                          [](const lint::Token& t) {
+                            return t.kind == lint::Token::Kind::kString;
+                          }),
+            2);
+}
+
+TEST(LintTokenizer, CapturesIncludesAndPragmaOnce) {
+  const lint::SourceFile f = lint::parse_source("t.hpp",
+      "#pragma once\n"
+      "#include <vector>\n"
+      "#include \"core/format.hpp\"\n");
+  EXPECT_TRUE(f.has_pragma_once);
+  ASSERT_EQ(f.includes.size(), 2u);
+  EXPECT_EQ(f.includes[0], "vector");
+  EXPECT_EQ(f.includes[1], "core/format.hpp");
+}
+
+TEST(LintTokenizer, FusesMultiCharPunctuators) {
+  const lint::SourceFile f = lint::parse_source("t.cpp", "a->b::c << [[x]]");
+  std::vector<std::string> puncts;
+  for (const lint::Token& t : f.tokens) {
+    if (t.kind == lint::Token::Kind::kPunct) puncts.push_back(t.text);
+  }
+  EXPECT_EQ(puncts, (std::vector<std::string>{"->", "::", "<<", "[[", "]]"}));
+}
+
+TEST(LintSuppression, TrailingCommentSilencesItsOwnLine) {
+  const lint::SourceFile with = lint::parse_source("x/t.cpp",
+      "void f() { auto* p = new int; }"
+      "  // jigsaw-lint: allow(raw-alloc): test\n");
+  EXPECT_TRUE(lint::run_rules({with}).empty());
+  const lint::SourceFile without =
+      lint::parse_source("x/t.cpp", "void f() { auto* p = new int; }\n");
+  EXPECT_EQ(lint::run_rules({without}).size(), 1u);
+}
+
+TEST(LintSuppression, BlockCommentAboveCoversNextCodeLine) {
+  const lint::SourceFile f = lint::parse_source("x/t.cpp",
+      "// jigsaw-lint: allow(raw-alloc): reason prose\n"
+      "void f() { auto* p = new int; }\n");
+  EXPECT_TRUE(lint::run_rules({f}).empty());
+}
+
+TEST(LintSuppression, WrongRuleNameDoesNotSilence) {
+  const lint::SourceFile f = lint::parse_source("x/t.cpp",
+      "// jigsaw-lint: allow(obs-name): wrong rule\n"
+      "void f() { auto* p = new int; }\n");
+  EXPECT_EQ(lint::run_rules({f}).size(), 1u);
+}
+
+TEST(LintRules, DiscardedStatusDropsAmbiguousNames) {
+  // `validate` returns Status in one class and void in another: the
+  // token-level tool must stay silent rather than guess.
+  const lint::SourceFile header = lint::parse_source("a.hpp",
+      "#pragma once\n"
+      "class Status {};\n"
+      "struct A { [[nodiscard]] Status validate(); };\n"
+      "struct B { void validate(); };\n");
+  const lint::SourceFile caller = lint::parse_source("a.cpp",
+      "void f(B& b) { b.validate(); }\n");
+  EXPECT_TRUE(lint::run_rules({header, caller}).empty());
+}
+
+TEST(LintRules, ExplicitVoidCastIsNotADiscard) {
+  const lint::SourceFile header = lint::parse_source("a.hpp",
+      "#pragma once\n"
+      "class Status {};\n"
+      "[[nodiscard]] Status probe();\n");
+  const lint::SourceFile caller =
+      lint::parse_source("a.cpp", "void f() { (void)probe(); }\n");
+  EXPECT_TRUE(lint::run_rules({header, caller}).empty());
+}
+
+}  // namespace

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "core/format_limits.hpp"
 #include "core/serialize.hpp"
 #include "matrix/vector_sparse.hpp"
 #include "testing/fault_injection.hpp"
@@ -56,6 +57,38 @@ jigsaw::core::JigsawFormat sample_format(std::uint64_t seed) {
 jigsaw::Status load_status(const std::string& blob) {
   std::istringstream is(blob, std::ios::binary);
   return jigsaw::core::load_format_checked(is).status();
+}
+
+/// Deterministic hostile-header probe: patch the first array's length
+/// field to one past kMaxFormatElements (the bound shared with the
+/// loader and validator through core/format_limits.hpp) and require the
+/// loader to refuse *before* any allocation-sized read. A regression
+/// here means the element bound and the code enforcing it drifted apart.
+bool check_hostile_length(const std::string& healthy) {
+  // v2 header: magic(4) + version(4) + rows(8) + cols(8) + block_tile(4)
+  // + layout(1) + header CRC(4) = 33 bytes; the panel-array length
+  // field (u64, little-endian) follows immediately.
+  constexpr std::size_t kLengthOffset = 33;
+  if (healthy.size() < kLengthOffset + sizeof(std::uint64_t)) {
+    std::cerr << "FAIL: healthy blob too short for the hostile-length probe\n";
+    return false;
+  }
+  std::string mutant = healthy;
+  const std::uint64_t hostile = jigsaw::core::kMaxFormatElements + 1;
+  std::memcpy(mutant.data() + kLengthOffset, &hostile, sizeof(hostile));
+  const jigsaw::Status s = load_status(mutant);
+  if (s.ok()) {
+    std::cerr << "FAIL: blob declaring " << hostile
+              << " panel headers loaded OK\n";
+    return false;
+  }
+  if (s.code() != jigsaw::StatusCode::kInvalidFormat) {
+    std::cerr << "FAIL: over-limit length field rejected as "
+              << s.to_string() << ", want invalid-format (the element "
+              << "bound must trip before any payload read)\n";
+    return false;
+  }
+  return true;
 }
 
 /// Distills the mutation space into a small committed corpus: the healthy
@@ -205,6 +238,7 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  if (!check_hostile_length(healthy)) return 1;
 
   std::uint64_t rejected = 0, unchanged = 0;
   std::uint64_t by_code[16] = {};

@@ -1,0 +1,990 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace jigsaw::lint {
+
+namespace {
+
+using Kind = Token::Kind;
+
+bool ident_is(const Token& t, const char* text) {
+  return t.kind == Kind::kIdent && t.text == text;
+}
+bool punct_is(const Token& t, const char* text) {
+  return t.kind == Kind::kPunct && t.text == text;
+}
+
+// ---- Lexer ---------------------------------------------------------------
+
+/// Two-character punctuators fused into one token. `>>` is fused too;
+/// template-skipping code counts it as two closers.
+const char* const kFusedPunct[] = {
+    "::", "->", "<<", ">>", "[[", "]]", "==", "!=", "<=", ">=", "&&",
+    "||", "+=", "-=", "*=", "/=", "%=", "^=", "|=", "&=", "++", "--",
+};
+
+/// Extracts `allow(rule[,rule])` lists from a comment's text.
+std::vector<std::string> parse_allow_rules(const std::string& comment) {
+  std::vector<std::string> rules;
+  const std::string tag = "jigsaw-lint:";
+  std::size_t at = comment.find(tag);
+  if (at == std::string::npos) return rules;
+  at = comment.find("allow(", at);
+  if (at == std::string::npos) return rules;
+  const std::size_t open = at + 5;
+  const std::size_t close = comment.find(')', open);
+  if (close == std::string::npos) return rules;
+  std::string inside = comment.substr(open + 1, close - open - 1);
+  std::string current;
+  for (char c : inside + ",") {
+    if (c == ',') {
+      if (!current.empty()) rules.push_back(current);
+      current.clear();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      current += c;
+    }
+  }
+  return rules;
+}
+
+struct Lexer {
+  const std::string& src;
+  SourceFile& out;
+  std::size_t i = 0;
+  int line = 1;
+  /// allow() rules from a comment block not yet anchored to a code line.
+  std::vector<std::string> pending_rules;
+
+  explicit Lexer(const std::string& s, SourceFile& f) : src(s), out(f) {}
+
+  bool eof() const { return i >= src.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return i + ahead < src.size() ? src[i + ahead] : '\0';
+  }
+  void advance() {
+    if (src[i] == '\n') ++line;
+    ++i;
+  }
+
+  void push(Kind kind, std::string text, int at_line) {
+    out.tokens.push_back(Token{kind, std::move(text), at_line});
+    for (std::string& rule : pending_rules) {
+      out.suppressions.push_back(Suppression{at_line, std::move(rule)});
+    }
+    pending_rules.clear();
+  }
+
+  void handle_comment(const std::string& text, int start_line) {
+    std::vector<std::string> rules = parse_allow_rules(text);
+    if (rules.empty()) return;
+    const bool trailing =
+        !out.tokens.empty() && out.tokens.back().line == start_line;
+    for (std::string& rule : rules) {
+      if (trailing) {
+        out.suppressions.push_back(
+            Suppression{start_line, std::move(rule)});
+      } else {
+        pending_rules.push_back(std::move(rule));
+      }
+    }
+  }
+
+  /// Consumes a whole preprocessor directive (with `\` continuations),
+  /// recording #include targets and #pragma once.
+  void handle_preprocessor() {
+    std::string text;
+    while (!eof()) {
+      const char c = peek();
+      if (c == '\\' && peek(1) == '\n') {
+        advance();
+        advance();
+        continue;
+      }
+      if (c == '\n') break;
+      text += c;
+      advance();
+    }
+    std::istringstream is(text);
+    std::string hash, word;
+    is >> hash >> word;
+    if (hash == "#") {
+      // `#  include` splits; renormalize.
+      hash += word;
+      is >> word;
+      std::swap(hash, word);
+      word = hash;
+    }
+    if (text.find("pragma") != std::string::npos &&
+        text.find("once") != std::string::npos) {
+      out.has_pragma_once = true;
+    }
+    const std::size_t inc = text.find("include");
+    if (inc != std::string::npos) {
+      std::size_t open = text.find_first_of("<\"", inc);
+      if (open != std::string::npos) {
+        const char closer = text[open] == '<' ? '>' : '"';
+        const std::size_t close = text.find(closer, open + 1);
+        if (close != std::string::npos) {
+          out.includes.push_back(text.substr(open + 1, close - open - 1));
+        }
+      }
+    }
+  }
+
+  void lex_string() {
+    const int at = line;
+    advance();  // opening quote
+    std::string text;
+    while (!eof() && peek() != '"') {
+      if (peek() == '\\' && i + 1 < src.size()) {
+        text += peek();
+        advance();
+      }
+      text += peek();
+      advance();
+    }
+    if (!eof()) advance();  // closing quote
+    push(Kind::kString, std::move(text), at);
+  }
+
+  void lex_raw_string() {
+    const int at = line;
+    advance();  // the opening quote (R already consumed by caller)
+    std::string delim;
+    while (!eof() && peek() != '(') {
+      delim += peek();
+      advance();
+    }
+    const std::string closer = ")" + delim + "\"";
+    std::string text;
+    while (!eof() && src.compare(i, closer.size(), closer) != 0) {
+      text += peek();
+      advance();
+    }
+    for (std::size_t k = 0; k < closer.size() && !eof(); ++k) advance();
+    push(Kind::kString, std::move(text), at);
+  }
+
+  void run() {
+    bool line_has_code = false;
+    while (!eof()) {
+      const char c = peek();
+      if (c == '\n') {
+        line_has_code = false;
+        advance();
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        advance();
+        continue;
+      }
+      if (c == '#' && !line_has_code) {
+        handle_preprocessor();
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        const int at = line;
+        std::string text;
+        while (!eof() && peek() != '\n') {
+          text += peek();
+          advance();
+        }
+        handle_comment(text, at);
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        const int at = line;
+        std::string text;
+        advance();
+        advance();
+        while (!eof() && !(peek() == '*' && peek(1) == '/')) {
+          text += peek();
+          advance();
+        }
+        advance();
+        advance();
+        handle_comment(text, at);
+        continue;
+      }
+      line_has_code = true;
+      if (c == '"') {
+        lex_string();
+        continue;
+      }
+      // Raw / prefixed string literals: R"...", u8R"...", LR"..." etc.
+      if ((c == 'R' || c == 'L' || c == 'u' || c == 'U') &&
+          looks_like_string_prefix()) {
+        continue;  // looks_like_string_prefix consumed it
+      }
+      if (c == '\'') {
+        const int at = line;
+        advance();
+        std::string text;
+        while (!eof() && peek() != '\'') {
+          if (peek() == '\\') {
+            text += peek();
+            advance();
+          }
+          if (!eof()) {
+            text += peek();
+            advance();
+          }
+        }
+        if (!eof()) advance();
+        push(Kind::kChar, std::move(text), at);
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+        const int at = line;
+        std::string text;
+        while (!eof()) {
+          const char d = peek();
+          if (std::isalnum(static_cast<unsigned char>(d)) || d == '.' ||
+              d == '\'' ||
+              ((d == '+' || d == '-') && !text.empty() &&
+               (text.back() == 'e' || text.back() == 'E' ||
+                text.back() == 'p' || text.back() == 'P'))) {
+            text += d;
+            advance();
+          } else {
+            break;
+          }
+        }
+        // Digit separators are irrelevant to the rules; normalize away.
+        text.erase(std::remove(text.begin(), text.end(), '\''), text.end());
+        push(Kind::kNumber, std::move(text), at);
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        const int at = line;
+        std::string text;
+        while (!eof() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                          peek() == '_')) {
+          text += peek();
+          advance();
+        }
+        push(Kind::kIdent, std::move(text), at);
+        continue;
+      }
+      // Punctuator: try the fused two-char set first.
+      const int at = line;
+      for (const char* fused : kFusedPunct) {
+        if (c == fused[0] && peek(1) == fused[1]) {
+          advance();
+          advance();
+          push(Kind::kPunct, fused, at);
+          goto next;
+        }
+      }
+      advance();
+      push(Kind::kPunct, std::string(1, c), at);
+    next:;
+    }
+  }
+
+  /// When positioned at a possible string-literal prefix (R, u8R, LR,
+  /// uR, UR), consumes the raw string and returns true. For plain
+  /// identifiers returns false without consuming.
+  bool looks_like_string_prefix() {
+    std::size_t k = i;
+    while (k < src.size() &&
+           (std::isalnum(static_cast<unsigned char>(src[k])) ||
+            src[k] == '_')) {
+      ++k;
+    }
+    // Identifier followed by a quote with an R immediately before it.
+    if (k < src.size() && src[k] == '"' && k > i && src[k - 1] == 'R' &&
+        k - i <= 3) {
+      while (i < k - 1) advance();  // consume prefix up to the R
+      advance();                    // the R
+      lex_raw_string();
+      return true;
+    }
+    return false;
+  }
+};
+
+bool suppressed(const SourceFile& f, int line, const std::string& rule) {
+  for (const Suppression& s : f.suppressions) {
+    if (s.line == line && s.rule == rule) return true;
+  }
+  return false;
+}
+
+void report(std::vector<Finding>& findings, const SourceFile& f, int line,
+            std::string rule, std::string message) {
+  if (suppressed(f, line, rule)) return;
+  findings.push_back(Finding{f.path, line, std::move(rule),
+                             std::move(message)});
+}
+
+bool path_ends_with(const std::string& path, const std::string& tail) {
+  return path.size() >= tail.size() &&
+         path.compare(path.size() - tail.size(), tail.size(), tail) == 0;
+}
+
+bool path_contains(const std::string& path, const std::string& piece) {
+  return path.find(piece) != std::string::npos;
+}
+
+// ---- Declaration scanning (shared by nodiscard-status and the
+// ---- discarded-status name collection) -----------------------------------
+
+/// Declaration-starter tokens: a Status/Result type token directly after
+/// one of these (at paren depth 0) begins a declaration's type.
+bool is_decl_starter(const Token& t) {
+  static const std::set<std::string> kStarters = {
+      ";",      "{",     "}",         ":",        "]]",    ">",
+      "inline", "static", "constexpr", "virtual", "explicit",
+      "typename", "const",
+  };
+  return kStarters.count(t.text) > 0;
+}
+
+/// Skips a balanced `<...>` starting at tokens[j] (which must be `<`).
+/// Returns the index one past the closing `>`. `>>` counts double.
+std::size_t skip_template_args(const std::vector<Token>& toks,
+                               std::size_t j) {
+  int depth = 0;
+  for (; j < toks.size(); ++j) {
+    const std::string& t = toks[j].text;
+    if (t == "<") ++depth;
+    if (t == "<=" || t == "<<") continue;  // not template brackets
+    if (t == ">") --depth;
+    if (t == ">>") depth -= 2;
+    if (depth <= 0 && (t == ">" || t == ">>")) return j + 1;
+  }
+  return j;
+}
+
+struct DeclInfo {
+  std::size_t type_index = 0;  ///< index of the Status/Result token
+  std::size_t name_index = 0;  ///< index of the function-name token
+  bool has_nodiscard = false;
+  bool is_friend = false;
+};
+
+/// Finds function declarations whose return type is spelled `type_name`
+/// (by value, at paren depth 0). Token-level approximation: see
+/// docs/STATIC_ANALYSIS.md for the exact pattern and its blind spots.
+std::vector<DeclInfo> find_value_decls(const SourceFile& f,
+                                       const std::string& type_name) {
+  std::vector<DeclInfo> decls;
+  const std::vector<Token>& toks = f.tokens;
+  int paren_depth = 0;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == Kind::kPunct) {
+      if (t.text == "(") ++paren_depth;
+      if (t.text == ")") --paren_depth;
+      continue;
+    }
+    if (paren_depth != 0 || t.kind != Kind::kIdent || t.text != type_name) {
+      continue;
+    }
+    bool is_friend = false;
+    if (i > 0) {
+      const Token& prev = toks[i - 1];
+      if (ident_is(prev, "friend")) {
+        is_friend = true;
+      } else if (!is_decl_starter(prev)) {
+        continue;  // qualified name, template argument, return value, ...
+      }
+    }
+    std::size_t j = i + 1;
+    if (type_name == "Result" && j < toks.size() &&
+        punct_is(toks[j], "<")) {
+      j = skip_template_args(toks, j);
+    }
+    if (j >= toks.size()) continue;
+    if (punct_is(toks[j], "&") || punct_is(toks[j], "*")) {
+      continue;  // reference/pointer return: discard is harmless
+    }
+    if (toks[j].kind != Kind::kIdent || j + 1 >= toks.size() ||
+        !punct_is(toks[j + 1], "(")) {
+      continue;  // variable declaration, constructor call, ...
+    }
+    DeclInfo d;
+    d.type_index = i;
+    d.name_index = j;
+    d.is_friend = is_friend;
+    // Scan the declaration prefix back to the previous terminator for a
+    // [[nodiscard]] attribute.
+    for (std::size_t k = i; k-- > 0;) {
+      const std::string& back = toks[k].text;
+      if (back == ";" || back == "{" || back == "}" || back == ":") break;
+      if (ident_is(toks[k], "nodiscard")) {
+        d.has_nodiscard = true;
+        break;
+      }
+    }
+    decls.push_back(d);
+  }
+  return decls;
+}
+
+/// Collects function names declared in `f` with a non-Status/Result
+/// value return type (`T name(`) — used to drop ambiguous names from
+/// the discarded-status set.
+void collect_other_decl_names(const SourceFile& f,
+                              std::set<std::string>& names) {
+  const std::vector<Token>& toks = f.tokens;
+  int paren_depth = 0;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == Kind::kPunct) {
+      if (t.text == "(") ++paren_depth;
+      if (t.text == ")") --paren_depth;
+      continue;
+    }
+    if (paren_depth != 0 || t.kind != Kind::kIdent) continue;
+    if (t.text == "Status" || t.text == "Result") continue;
+    if (i > 0 && !is_decl_starter(toks[i - 1])) continue;
+    std::size_t j = i + 1;
+    if (punct_is(toks[j], "<")) j = skip_template_args(toks, j);
+    if (j + 1 < toks.size() && toks[j].kind == Kind::kIdent &&
+        punct_is(toks[j + 1], "(")) {
+      names.insert(toks[j].text);
+    }
+  }
+}
+
+// ---- Rule: nodiscard-status ----------------------------------------------
+
+void rule_nodiscard_status(const SourceFile& f,
+                           std::vector<Finding>& findings) {
+  if (!f.is_header) return;
+  for (const char* type_name : {"Status", "Result"}) {
+    for (const DeclInfo& d : find_value_decls(f, type_name)) {
+      if (d.has_nodiscard || d.is_friend) continue;
+      report(findings, f, f.tokens[d.name_index].line, "nodiscard-status",
+             "'" + f.tokens[d.name_index].text + "' returns " + type_name +
+                 " by value but is not [[nodiscard]]: a dropped error is a "
+                 "silently swallowed failure");
+    }
+  }
+}
+
+// ---- Rule: discarded-status ----------------------------------------------
+
+/// Function names that collide with common std container/algorithm
+/// members; statement-level calls to these are never flagged (the
+/// compiler's [[nodiscard]] diagnostics cover them precisely).
+const std::set<std::string>& std_member_names() {
+  static const std::set<std::string> kNames = {
+      "insert", "erase",  "emplace", "count", "find",  "at",   "get",
+      "size",   "reset",  "swap",    "begin", "end",   "load", "store",
+      "exchange", "wait", "test",    "clear", "push_back",
+  };
+  return kNames;
+}
+
+const std::set<std::string>& statement_keywords() {
+  static const std::set<std::string> kKeywords = {
+      "if",     "while",  "for",      "return",   "switch",  "case",
+      "do",     "else",   "break",    "continue", "goto",    "using",
+      "namespace", "class", "struct", "enum",     "template", "typedef",
+      "static_assert", "delete", "throw", "public", "private",
+      "protected", "default", "try", "catch", "co_return", "co_await",
+      "new", "sizeof", "constexpr", "const", "static", "inline", "auto",
+      "void", "bool", "int", "char", "float", "double", "unsigned",
+      "signed", "long", "short", "friend", "explicit", "virtual",
+      "operator", "extern",
+  };
+  return kKeywords;
+}
+
+void rule_discarded_status(const SourceFile& f,
+                           const std::set<std::string>& status_names,
+                           std::vector<Finding>& findings) {
+  const std::vector<Token>& toks = f.tokens;
+  // Statement starts: the token after `;`, `{`, or `}` (plus index 0).
+  for (std::size_t s = 0; s < toks.size(); ++s) {
+    if (s != 0) {
+      const std::string& prev = toks[s - 1].text;
+      if (toks[s - 1].kind != Kind::kPunct ||
+          (prev != ";" && prev != "{" && prev != "}")) {
+        continue;
+      }
+    }
+    if (toks[s].kind != Kind::kIdent) continue;
+    if (statement_keywords().count(toks[s].text) > 0) continue;
+    // Walk the call chain: ident (:: . ->) ident ... followed by `(`.
+    std::size_t j = s;
+    std::string name = toks[j].text;
+    while (j + 1 < toks.size()) {
+      const Token& next = toks[j + 1];
+      if (punct_is(next, "::") || punct_is(next, ".") ||
+          punct_is(next, "->")) {
+        if (j + 2 >= toks.size() || toks[j + 2].kind != Kind::kIdent) break;
+        name = toks[j + 2].text;
+        j += 2;
+        continue;
+      }
+      break;
+    }
+    if (j + 1 >= toks.size() || !punct_is(toks[j + 1], "(")) continue;
+    if (status_names.count(name) == 0) continue;
+    // Find the matching close paren, then require the call to be the
+    // whole statement (`);`) for a finding.
+    int depth = 0;
+    std::size_t k = j + 1;
+    for (; k < toks.size(); ++k) {
+      if (punct_is(toks[k], "(")) ++depth;
+      if (punct_is(toks[k], ")") && --depth == 0) break;
+    }
+    if (k + 1 < toks.size() && punct_is(toks[k + 1], ";")) {
+      report(findings, f, toks[j].line, "discarded-status",
+             "call to '" + name + "' discards its Status/Result: "
+             "propagate with JIGSAW_RETURN_IF_ERROR, consume the value, "
+             "or annotate intent with (void) plus a jigsaw-lint allow");
+    }
+  }
+}
+
+// ---- Rule: bounded-alloc -------------------------------------------------
+
+bool is_bounded_alloc_file(const std::string& path) {
+  return path_ends_with(path, "core/serialize.cpp") ||
+         path_ends_with(path, "core/format_validate.cpp") ||
+         path_contains(path, "lint_fixtures");
+}
+
+void rule_bounded_alloc(const SourceFile& f,
+                        std::vector<Finding>& findings) {
+  if (!is_bounded_alloc_file(f.path) || f.is_header) return;
+  const std::vector<Token>& toks = f.tokens;
+  static const std::set<std::string> kAllocFns = {
+      "malloc", "calloc", "realloc", "strdup", "aligned_alloc"};
+  static const std::set<std::string> kGrowers = {"resize", "reserve"};
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Kind::kIdent) continue;
+    if (t.text == "new") {
+      report(findings, f, t.line, "bounded-alloc",
+             "raw `new` in an untrusted-input file: allocate through a "
+             "bounded helper (see core/format_limits.hpp)");
+      continue;
+    }
+    const bool call_like =
+        i + 1 < toks.size() && punct_is(toks[i + 1], "(");
+    if (call_like && kAllocFns.count(t.text) > 0) {
+      report(findings, f, t.line, "bounded-alloc",
+             "`" + t.text + "` in an untrusted-input file: allocate "
+             "through a bounded helper (see core/format_limits.hpp)");
+      continue;
+    }
+    if (call_like && kGrowers.count(t.text) > 0 && i > 0 &&
+        (punct_is(toks[i - 1], ".") || punct_is(toks[i - 1], "->"))) {
+      report(findings, f, t.line, "bounded-alloc",
+             "`" + t.text + "` sizes an allocation from parsed input: "
+             "bound it first (kMaxFormatElements / stream remaining) and "
+             "annotate the helper with jigsaw-lint: allow(bounded-alloc)");
+      continue;
+    }
+    // Sized container construction: vector<...> name(expr...) or the
+    // temporary form vector<...>(expr...).
+    if (t.text == "vector" && i + 1 < toks.size() &&
+        punct_is(toks[i + 1], "<")) {
+      std::size_t j = skip_template_args(toks, i + 1);
+      if (j < toks.size() && toks[j].kind == Kind::kIdent &&
+          j + 1 < toks.size()) {
+        ++j;  // named declaration: the paren (if any) follows the name
+      }
+      if (j < toks.size() && punct_is(toks[j], "(") &&
+          j + 1 < toks.size() && !punct_is(toks[j + 1], ")")) {
+        report(findings, f, toks[j].line, "bounded-alloc",
+               "sized vector construction from parsed input: bound the "
+               "size first and annotate with jigsaw-lint: "
+               "allow(bounded-alloc)");
+      }
+    }
+  }
+}
+
+// ---- Rule: no-magic-bounds -----------------------------------------------
+
+bool shares_format_limits(const std::string& path) {
+  return path_ends_with(path, "core/serialize.cpp") ||
+         path_ends_with(path, "core/format_validate.cpp") ||
+         path_ends_with(path, "tools/fuzz_format.cpp") ||
+         path_contains(path, "lint_fixtures");
+}
+
+void rule_no_magic_bounds(const SourceFile& f,
+                          std::vector<Finding>& findings) {
+  if (!shares_format_limits(f.path) ||
+      path_ends_with(f.path, "format_limits.hpp")) {
+    return;
+  }
+  const std::vector<Token>& toks = f.tokens;
+  const auto is_one = [](const Token& t) {
+    return t.kind == Kind::kNumber &&
+           (t.text == "1" || t.text == "1u" || t.text == "1ul" ||
+            t.text == "1ull" || t.text == "1U" || t.text == "1UL" ||
+            t.text == "1ULL");
+  };
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Kind::kNumber) continue;
+    const bool literal_value =
+        t.text == "1073741824" || t.text == "0x40000000";
+    // `1 << 30` or the braced-init spelling `uint64_t{1} << 30`.
+    bool shifted_one = false;
+    if (t.text == "30" && i >= 2 && punct_is(toks[i - 1], "<<")) {
+      std::size_t lhs = i - 2;
+      if (punct_is(toks[lhs], "}") && lhs >= 1) --lhs;
+      shifted_one = is_one(toks[lhs]);
+    }
+    if (literal_value || shifted_one) {
+      report(findings, f, t.line, "no-magic-bounds",
+             "allocation bound respelled as a literal: use "
+             "kMaxFormatElements / kMaxFormatDimension from "
+             "core/format_limits.hpp so the loader, validator and fuzzer "
+             "cannot drift apart");
+    }
+  }
+}
+
+// ---- Rule: obs-name ------------------------------------------------------
+
+const std::set<std::string>& obs_subsystems() {
+  static const std::set<std::string> kSubsystems = {
+      "checked", "engine", "format",    "hybrid", "kernel",
+      "reorder", "serialize", "tile_cache", "obs",
+  };
+  return kSubsystems;
+}
+
+bool obs_name_valid(const std::string& name) {
+  std::vector<std::string> segments;
+  std::string current;
+  for (char c : name + ".") {
+    if (c == '.') {
+      if (current.empty()) return false;
+      segments.push_back(current);
+      current.clear();
+    } else if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+               c == '_') {
+      current += c;
+    } else {
+      return false;
+    }
+  }
+  return segments.size() >= 2 && obs_subsystems().count(segments[0]) > 0;
+}
+
+void rule_obs_name(const SourceFile& f, std::vector<Finding>& findings) {
+  const std::vector<Token>& toks = f.tokens;
+  static const std::set<std::string> kObsFns = {
+      "add", "counter", "gauge", "gauge_set", "observe", "histogram"};
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (ident_is(toks[i], "JIGSAW_TRACE_SCOPE") && i + 4 < toks.size() &&
+        punct_is(toks[i + 1], "(")) {
+      if (toks[i + 2].kind == Kind::kString) {
+        const std::string& category = toks[i + 2].text;
+        if (obs_subsystems().count(category) == 0) {
+          report(findings, f, toks[i + 2].line, "obs-name",
+                 "span category \"" + category + "\" is not a known "
+                 "subsystem (docs/OBSERVABILITY.md naming table)");
+        }
+      }
+      if (punct_is(toks[i + 3], ",") && toks[i + 4].kind == Kind::kString &&
+          !obs_name_valid(toks[i + 4].text)) {
+        report(findings, f, toks[i + 4].line, "obs-name",
+               "span name \"" + toks[i + 4].text + "\" does not match the "
+               "`<subsystem>.<noun>[_<unit>]` convention");
+      }
+      continue;
+    }
+    if (ident_is(toks[i], "obs") && i + 4 < toks.size() &&
+        punct_is(toks[i + 1], "::") && toks[i + 2].kind == Kind::kIdent &&
+        kObsFns.count(toks[i + 2].text) > 0 &&
+        punct_is(toks[i + 3], "(") &&
+        toks[i + 4].kind == Kind::kString &&
+        !obs_name_valid(toks[i + 4].text)) {
+      report(findings, f, toks[i + 4].line, "obs-name",
+             "instrument name \"" + toks[i + 4].text + "\" does not match "
+             "the `<subsystem>.<noun>[_<unit>]` convention "
+             "(docs/OBSERVABILITY.md)");
+    }
+  }
+}
+
+// ---- Rule: raw-alloc -----------------------------------------------------
+
+void rule_raw_alloc(const SourceFile& f, std::vector<Finding>& findings) {
+  if (path_contains(f.path, "common/") &&
+      !path_contains(f.path, "lint_fixtures")) {
+    return;  // common/ owns the low-level primitives
+  }
+  const std::vector<Token>& toks = f.tokens;
+  static const std::set<std::string> kAllocFns = {"malloc", "calloc",
+                                                  "realloc", "free"};
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Kind::kIdent) continue;
+    // `= delete` declarations are not deallocations; `= new T` is a real
+    // allocation, so the exclusion applies to `delete` only.
+    const bool deleted_fn =
+        t.text == "delete" && i > 0 && punct_is(toks[i - 1], "=");
+    const bool after_operator = i > 0 && ident_is(toks[i - 1], "operator");
+    if ((t.text == "new" || t.text == "delete") && !deleted_fn &&
+        !after_operator) {
+      report(findings, f, t.line, "raw-alloc",
+             "raw `" + t.text + "` outside src/common/: own memory through "
+             "containers or smart pointers");
+      continue;
+    }
+    // Member calls that merely share a libc name (x.free(), m->count())
+    // are excluded; the std:: qualification is not.
+    if (kAllocFns.count(t.text) > 0 && i + 1 < toks.size() &&
+        punct_is(toks[i + 1], "(") && !after_operator &&
+        !(i > 0 && (punct_is(toks[i - 1], ".") ||
+                    punct_is(toks[i - 1], "->")))) {
+      report(findings, f, t.line, "raw-alloc",
+             "`" + t.text + "` outside src/common/: own memory through "
+             "containers or smart pointers");
+    }
+  }
+}
+
+// ---- Rule: header-hygiene ------------------------------------------------
+
+struct SymbolRequirement {
+  const char* symbol;
+  /// Any one of these includes satisfies the use.
+  std::vector<const char*> headers;
+};
+
+const std::vector<SymbolRequirement>& iwyu_map() {
+  static const std::vector<SymbolRequirement> kMap = {
+      {"vector", {"vector"}},
+      {"string", {"string"}},
+      {"string_view", {"string_view"}},
+      {"atomic", {"atomic"}},
+      {"mutex", {"mutex"}},
+      {"lock_guard", {"mutex"}},
+      {"unique_lock", {"mutex"}},
+      {"scoped_lock", {"mutex"}},
+      {"condition_variable", {"condition_variable"}},
+      {"thread", {"thread"}},
+      {"future", {"future"}},
+      {"promise", {"future"}},
+      {"packaged_task", {"future"}},
+      {"optional", {"optional"}},
+      {"nullopt", {"optional"}},
+      {"variant", {"variant"}},
+      {"holds_alternative", {"variant"}},
+      {"get_if", {"variant"}},
+      {"monostate", {"variant"}},
+      {"function", {"functional"}},
+      {"shared_ptr", {"memory"}},
+      {"unique_ptr", {"memory"}},
+      {"weak_ptr", {"memory"}},
+      {"make_shared", {"memory"}},
+      {"make_unique", {"memory"}},
+      {"static_pointer_cast", {"memory"}},
+      {"unordered_map", {"unordered_map"}},
+      {"unordered_set", {"unordered_set"}},
+      {"map", {"map"}},
+      {"list", {"list"}},
+      {"deque", {"deque"}},
+      {"array", {"array"}},
+      {"pair", {"utility"}},
+      {"make_pair", {"utility"}},
+      {"move", {"utility"}},
+      {"forward", {"utility"}},
+      {"exchange", {"utility"}},
+      {"declval", {"utility"}},
+      {"numeric_limits", {"limits"}},
+      {"chrono", {"chrono"}},
+      {"uint8_t", {"cstdint"}},
+      {"uint16_t", {"cstdint"}},
+      {"uint32_t", {"cstdint"}},
+      {"uint64_t", {"cstdint"}},
+      {"int8_t", {"cstdint"}},
+      {"int16_t", {"cstdint"}},
+      {"int32_t", {"cstdint"}},
+      {"int64_t", {"cstdint"}},
+      {"ostream", {"iosfwd", "ostream", "iostream", "sstream", "fstream"}},
+      {"istream", {"iosfwd", "istream", "iostream", "sstream", "fstream"}},
+      {"ostringstream", {"sstream"}},
+      {"istringstream", {"sstream"}},
+      {"stringstream", {"sstream"}},
+      {"ofstream", {"fstream"}},
+      {"ifstream", {"fstream"}},
+      {"runtime_error", {"stdexcept"}},
+      {"logic_error", {"stdexcept"}},
+      {"invalid_argument", {"stdexcept"}},
+      {"out_of_range", {"stdexcept"}},
+      {"min", {"algorithm"}},
+      {"max", {"algorithm"}},
+      {"clamp", {"algorithm"}},
+      {"sort", {"algorithm"}},
+      {"fill", {"algorithm"}},
+      {"copy", {"algorithm"}},
+      {"transform", {"algorithm"}},
+      {"all_of", {"algorithm"}},
+      {"any_of", {"algorithm"}},
+      {"find_if", {"algorithm"}},
+      {"lower_bound", {"algorithm"}},
+      {"upper_bound", {"algorithm"}},
+  };
+  return kMap;
+}
+
+void rule_header_hygiene(const SourceFile& f,
+                         std::vector<Finding>& findings) {
+  if (!f.is_header) return;
+  if (!f.has_pragma_once) {
+    report(findings, f, 1, "header-hygiene",
+           "header lacks #pragma once");
+  }
+  const std::set<std::string> includes(f.includes.begin(),
+                                       f.includes.end());
+  std::set<std::string> reported;
+  const std::vector<Token>& toks = f.tokens;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!ident_is(toks[i], "std") || !punct_is(toks[i + 1], "::") ||
+        toks[i + 2].kind != Kind::kIdent) {
+      continue;
+    }
+    const std::string& symbol = toks[i + 2].text;
+    for (const SymbolRequirement& req : iwyu_map()) {
+      if (symbol != req.symbol) continue;
+      bool satisfied = false;
+      for (const char* header : req.headers) {
+        if (includes.count(header) > 0) satisfied = true;
+      }
+      if (!satisfied && reported.insert(symbol).second) {
+        report(findings, f, toks[i + 2].line, "header-hygiene",
+               "header uses std::" + symbol + " but does not include <" +
+                   std::string(req.headers.front()) +
+                   "> itself (IWYU-lite: headers must be self-contained)");
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+// ---- Public API ----------------------------------------------------------
+
+std::string Finding::to_string() const {
+  std::ostringstream os;
+  os << file << ":" << line << ": [" << rule << "] " << message;
+  return os.str();
+}
+
+SourceFile parse_source(std::string path, std::string content) {
+  SourceFile f;
+  f.path = std::move(path);
+  f.is_header = path_ends_with(f.path, ".hpp") ||
+                path_ends_with(f.path, ".h");
+  f.content = std::move(content);
+  Lexer lexer(f.content, f);
+  lexer.run();
+  return f;
+}
+
+SourceFile load_source(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.is_open()) {
+    throw std::runtime_error("jigsaw_lint: cannot open " + path);
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return parse_source(path, buf.str());
+}
+
+std::vector<std::string> rule_names() {
+  return {"nodiscard-status", "discarded-status", "bounded-alloc",
+          "no-magic-bounds",  "obs-name",         "raw-alloc",
+          "header-hygiene"};
+}
+
+std::vector<Finding> run_rules(const std::vector<SourceFile>& files,
+                               const std::vector<std::string>& rules) {
+  std::set<std::string> active(rules.begin(), rules.end());
+  if (active.empty()) {
+    for (const std::string& name : rule_names()) active.insert(name);
+  }
+
+  // Cross-file context: the Status/Result-returning name set, minus any
+  // name also declared with a different value return type (ambiguous for
+  // a token-level tool) and minus common std member names.
+  std::set<std::string> status_names;
+  std::set<std::string> other_names;
+  for (const SourceFile& f : files) {
+    if (!f.is_header) continue;
+    for (const char* type_name : {"Status", "Result"}) {
+      for (const DeclInfo& d : find_value_decls(f, type_name)) {
+        status_names.insert(f.tokens[d.name_index].text);
+      }
+    }
+    collect_other_decl_names(f, other_names);
+  }
+  for (const std::string& name : other_names) status_names.erase(name);
+  for (const std::string& name : std_member_names()) {
+    status_names.erase(name);
+  }
+
+  std::vector<Finding> findings;
+  for (const SourceFile& f : files) {
+    if (active.count("nodiscard-status")) rule_nodiscard_status(f, findings);
+    if (active.count("discarded-status")) {
+      rule_discarded_status(f, status_names, findings);
+    }
+    if (active.count("bounded-alloc")) rule_bounded_alloc(f, findings);
+    if (active.count("no-magic-bounds")) rule_no_magic_bounds(f, findings);
+    if (active.count("obs-name")) rule_obs_name(f, findings);
+    if (active.count("raw-alloc")) rule_raw_alloc(f, findings);
+    if (active.count("header-hygiene")) rule_header_hygiene(f, findings);
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+std::vector<std::string> collect_sources(
+    const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> out;
+  for (const std::string& path : paths) {
+    if (fs::is_directory(path)) {
+      for (const auto& entry : fs::recursive_directory_iterator(path)) {
+        if (!entry.is_regular_file()) continue;
+        const std::string ext = entry.path().extension().string();
+        if (ext == ".hpp" || ext == ".cpp" || ext == ".h") {
+          out.push_back(entry.path().string());
+        }
+      }
+    } else if (fs::is_regular_file(path)) {
+      out.push_back(path);
+    } else {
+      throw std::runtime_error("jigsaw_lint: no such file or directory: " +
+                               path);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace jigsaw::lint

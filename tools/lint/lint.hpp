@@ -1,0 +1,105 @@
+// jigsaw_lint: a project-invariant checker over the C++ sources.
+//
+// A deliberately small, dependency-free static-analysis pass: its own
+// tokenizer (comments, strings, raw strings, preprocessor lines handled;
+// no libclang), a per-file token stream, and a fixed catalog of rules
+// encoding the contracts the library's tiers rely on (docs/
+// STATIC_ANALYSIS.md):
+//
+//   nodiscard-status  every header declaration returning Status or
+//                     Result<T> by value carries [[nodiscard]]
+//   discarded-status  no statement discards a call to a function whose
+//                     header declaration returns Status/Result
+//   bounded-alloc     the untrusted-input files (core/serialize.cpp,
+//                     core/format_validate.cpp) allocate only through
+//                     annotated bounded helpers
+//   no-magic-bounds   the files sharing core/format_limits.hpp may not
+//                     re-spell its limits as literals
+//   obs-name          obs counter/gauge/histogram/span literals follow
+//                     the `<subsystem>.<noun>[_<unit>]` convention of
+//                     docs/OBSERVABILITY.md
+//   raw-alloc         no raw new/delete/malloc outside src/common/
+//   header-hygiene    headers start with #pragma once and directly
+//                     include the std headers of the std:: symbols they
+//                     use (IWYU-lite)
+//
+// Suppression: a `// jigsaw-lint: allow(rule[,rule]): reason` comment on
+// the flagged line, or in the comment block immediately above it,
+// silences those rules for that line. The reason is mandatory prose by
+// convention (the tool only parses the rule list).
+//
+// The tool is token-level, not semantic: rules are written so that the
+// cheap approximation errs on the side of silence (e.g. discarded-status
+// drops any function name that is also declared with a non-Status return
+// somewhere), and anything it does flag is suppressible in place.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace jigsaw::lint {
+
+/// One lexed token. Preprocessor directives, comments and whitespace are
+/// not tokens (directives are captured on SourceFile instead).
+struct Token {
+  enum class Kind : unsigned char {
+    kIdent,    ///< identifier or keyword
+    kNumber,   ///< numeric literal, suffix included (`1ull`)
+    kString,   ///< string literal, quotes stripped, escapes raw
+    kChar,     ///< character literal
+    kPunct,    ///< operator/punctuator (a small multi-char set is fused)
+  };
+  Kind kind = Kind::kPunct;
+  std::string text;
+  int line = 0;
+};
+
+/// A `// jigsaw-lint: allow(...)` directive resolved to the line it
+/// covers (its own line for trailing comments, else the next code line).
+struct Suppression {
+  int line = 0;
+  std::string rule;
+};
+
+/// One parsed source file ready for the rules.
+struct SourceFile {
+  std::string path;     ///< as reported in findings
+  bool is_header = false;
+  std::string content;
+  std::vector<Token> tokens;
+  std::vector<std::string> includes;  ///< include targets, brackets/quotes stripped
+  bool has_pragma_once = false;
+  std::vector<Suppression> suppressions;
+};
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  std::string to_string() const;
+};
+
+/// Lexes `content` into `file` (tokens, includes, suppressions). `path`
+/// is used verbatim in findings.
+SourceFile parse_source(std::string path, std::string content);
+
+/// Loads and parses one file from disk. Throws std::runtime_error when
+/// the file cannot be read.
+SourceFile load_source(const std::string& path);
+
+/// Runs every rule (or only `rules`, when non-empty) over the file set.
+/// Cross-file context (the Status-returning name set of discarded-status)
+/// is built from the same set, so callers lint a coherent tree at once.
+std::vector<Finding> run_rules(const std::vector<SourceFile>& files,
+                               const std::vector<std::string>& rules = {});
+
+/// The rule names run_rules knows, in catalog order.
+std::vector<std::string> rule_names();
+
+/// Recursively collects the .hpp/.cpp files under each path (files are
+/// taken as-is), sorted. Nonexistent paths throw std::runtime_error.
+std::vector<std::string> collect_sources(const std::vector<std::string>& paths);
+
+}  // namespace jigsaw::lint

@@ -1,0 +1,61 @@
+// jigsaw_lint CLI: lint a set of files/directories, print findings as
+// `path:line: [rule] message`, exit non-zero when anything fires.
+//
+//   jigsaw_lint src/                       # the CI gate
+//   jigsaw_lint --rule obs-name src/obs    # one rule, one subtree
+//   jigsaw_lint --list-rules
+#include <cstring>
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  std::vector<std::string> rules;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--rule") == 0 && i + 1 < argc) {
+      rules.emplace_back(argv[++i]);
+    } else if (std::strcmp(argv[i], "--list-rules") == 0) {
+      for (const std::string& name : jigsaw::lint::rule_names()) {
+        std::cout << name << "\n";
+      }
+      return 0;
+    } else if (argv[i][0] == '-') {
+      std::cerr << "usage: jigsaw_lint [--rule NAME]... [--list-rules] "
+                   "PATH...\n";
+      return 2;
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "usage: jigsaw_lint [--rule NAME]... [--list-rules] "
+                 "PATH...\n";
+    return 2;
+  }
+
+  try {
+    const std::vector<std::string> sources =
+        jigsaw::lint::collect_sources(paths);
+    std::vector<jigsaw::lint::SourceFile> files;
+    files.reserve(sources.size());
+    for (const std::string& path : sources) {
+      files.push_back(jigsaw::lint::load_source(path));
+    }
+    const std::vector<jigsaw::lint::Finding> findings =
+        jigsaw::lint::run_rules(files, rules);
+    for (const jigsaw::lint::Finding& f : findings) {
+      std::cout << f.to_string() << "\n";
+    }
+    std::cerr << "jigsaw_lint: " << files.size() << " files, "
+              << findings.size() << " finding"
+              << (findings.size() == 1 ? "" : "s") << "\n";
+    return findings.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+}
