@@ -64,4 +64,18 @@ void print_banner(const std::string& title, const std::string& paper_ref);
 /// build must not be recorded as baselines.
 void warn_if_debug_build();
 
+/// "release" when this tree was compiled with NDEBUG, else "debug".
+/// Recorded into the benchmark JSON as the `jigsaw_build_type` context
+/// key: google-benchmark's own `library_build_type` field reports how the
+/// system libbenchmark was built, not this tree, so the repo gate
+/// (scripts/check_bench_release.py) keys on ours. Inline so every binary
+/// reports its own compile flags rather than the library's.
+inline const char* build_type() {
+#if defined(NDEBUG)
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
 }  // namespace jigsaw::bench

@@ -98,6 +98,7 @@ int main(int argc, char** argv) {
   int n = static_cast<int>(args.size());
   benchmark::Initialize(&n, args.data());
   if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::AddCustomContext("jigsaw_build_type", jigsaw::bench::build_type());
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

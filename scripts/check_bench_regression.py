@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Compare a fresh benchmark run against a tracked baseline JSON.
+
+Usage: check_bench_regression.py --baseline BENCH_spmm.json \
+           --current new.json [--threshold 0.20]
+
+Matches benchmarks by `name` and fails (exit 1) when any current
+`real_time` exceeds the baseline by more than the threshold (default
+20%). Benchmarks present on only one side are reported but never fail
+the check: the suite is allowed to grow, and renamed cases should not
+mask a real regression elsewhere. Improvements are printed so CI logs
+double as a perf journal.
+
+Times are compared in each file's own `time_unit` normalized to
+nanoseconds; aggregate entries (run_type == "aggregate") are skipped in
+favor of the raw iterations google-benchmark already averaged.
+"""
+import argparse
+import json
+import sys
+
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_times(path: str) -> dict[str, float]:
+    """name -> real_time in nanoseconds."""
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    times: dict[str, float] = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b.get("name")
+        real = b.get("real_time")
+        unit = b.get("time_unit", "ns")
+        if name is None or real is None or unit not in _UNIT_NS:
+            continue
+        times[name] = float(real) * _UNIT_NS[unit]
+    return times
+
+
+def fmt_ns(ns: float) -> str:
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return f"{ns / scale:.3g} {unit}"
+    return f"{ns:.3g} ns"
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail on >threshold benchmark time regressions")
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed fractional slowdown (default 0.20)")
+    args = parser.parse_args(argv[1:])
+
+    try:
+        baseline = load_times(args.baseline)
+        current = load_times(args.current)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_bench_regression: {e}", file=sys.stderr)
+        return 2
+    if not baseline or not current:
+        print("check_bench_regression: empty benchmark set", file=sys.stderr)
+        return 2
+
+    regressions = []
+    for name in sorted(baseline.keys() | current.keys()):
+        if name not in baseline:
+            print(f"  new       {name}: {fmt_ns(current[name])} (no baseline)")
+            continue
+        if name not in current:
+            print(f"  missing   {name}: in baseline only")
+            continue
+        base, cur = baseline[name], current[name]
+        ratio = cur / base if base > 0 else float("inf")
+        line = (f"{name}: {fmt_ns(base)} -> {fmt_ns(cur)} "
+                f"({(ratio - 1) * 100:+.1f}%)")
+        if ratio > 1.0 + args.threshold:
+            regressions.append(line)
+            print(f"  REGRESSED {line}")
+        elif ratio < 1.0 - args.threshold:
+            print(f"  improved  {line}")
+        else:
+            print(f"  ok        {line}")
+
+    if regressions:
+        print(
+            f"check_bench_regression: {len(regressions)} benchmark(s) "
+            f"slower than baseline by more than "
+            f"{args.threshold * 100:.0f}%:",
+            file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("check_bench_regression: no regressions beyond "
+          f"{args.threshold * 100:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Gate: tracked benchmark JSON must come from a Release build.
+
+Usage: check_bench_release.py BENCH_a.json [BENCH_b.json ...]
+
+Rejects any file whose `context.jigsaw_build_type` is not "release".
+That key is written by the bench binaries themselves
+(bench/bench_common.hpp: build_type()) and reflects whether THIS tree was
+compiled with NDEBUG. Do not key on google-benchmark's own
+`library_build_type` field: it reports how the system libbenchmark was
+built (frequently "debug" on distro packages) and says nothing about the
+jigsaw code the benchmark actually timed.
+
+A file with no `jigsaw_build_type` at all predates the gate and is also
+rejected: regenerate it with `<bench> --json` from a
+-DCMAKE_BUILD_TYPE=Release tree.
+"""
+import json
+import sys
+
+
+def check(path: str) -> str | None:
+    """Returns an error message, or None when the file passes."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return f"{path}: unreadable benchmark JSON: {e}"
+    context = doc.get("context")
+    if not isinstance(context, dict):
+        return f"{path}: no `context` object; not google-benchmark JSON?"
+    build_type = context.get("jigsaw_build_type")
+    if build_type is None:
+        return (
+            f"{path}: context has no `jigsaw_build_type` key; the file "
+            "predates the release gate — regenerate it with `--json` from "
+            "a Release build"
+        )
+    if build_type != "release":
+        return (
+            f"{path}: jigsaw_build_type is \"{build_type}\", want "
+            "\"release\" — tracked baselines must come from a "
+            "-DCMAKE_BUILD_TYPE=Release tree"
+        )
+    if not doc.get("benchmarks"):
+        return f"{path}: `benchmarks` array is missing or empty"
+    return None
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors = [msg for path in argv[1:] if (msg := check(path))]
+    for msg in errors:
+        print(f"check_bench_release: {msg}", file=sys.stderr)
+    if not errors:
+        print(f"check_bench_release: {len(argv) - 1} file(s) ok")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

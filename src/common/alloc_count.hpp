@@ -1,0 +1,26 @@
+// Process-wide heap-allocation counter.
+//
+// Linking this TU (any reference to heap_allocation_count() pulls it in)
+// replaces the global operator new/delete family with malloc-backed
+// versions that bump one relaxed atomic per allocation. The engine
+// brackets the kernel execution window with two reads and publishes the
+// delta as the `jigsaw.engine.submit.allocations` counter; the
+// steady-state regression test asserts the delta is zero once the
+// per-worker arenas are warm (docs/PERFORMANCE.md).
+//
+// The count is process-global across all threads — a window measured on
+// one thread includes allocations made concurrently by others, which is
+// exactly right for the kernel window (its OpenMP workers are part of
+// the execution) and means callers should not expect isolation from
+// unrelated concurrent work.
+#pragma once
+
+#include <cstdint>
+
+namespace jigsaw {
+
+/// Number of heap allocations (operator new calls, all forms) performed
+/// by the process so far. Monotonic; never reset.
+std::uint64_t heap_allocation_count();
+
+}  // namespace jigsaw

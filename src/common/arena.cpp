@@ -1,0 +1,32 @@
+#include "common/arena.hpp"
+
+namespace jigsaw {
+
+namespace {
+
+/// The install stack is one deep: a worker installs its arena for the
+/// whole worker loop; nested installs restore the previous pointer.
+thread_local Arena* t_installed = nullptr;
+
+Arena& thread_fallback_arena() {
+  // Created on first use per thread (OpenMP workers, test threads, the
+  // main thread calling jigsaw_compute directly); lives until thread
+  // exit so repeated calls on the same thread reuse its capacity.
+  thread_local Arena fallback;
+  return fallback;
+}
+
+}  // namespace
+
+Arena& thread_scratch_arena() {
+  if (t_installed != nullptr) return *t_installed;
+  return thread_fallback_arena();
+}
+
+ScopedArenaInstall::ScopedArenaInstall(Arena& arena) : prev_(t_installed) {
+  t_installed = &arena;
+}
+
+ScopedArenaInstall::~ScopedArenaInstall() { t_installed = prev_; }
+
+}  // namespace jigsaw

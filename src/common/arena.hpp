@@ -1,0 +1,188 @@
+// Bump-allocated scratch arenas for the execute hot path.
+//
+// The SpMM execute path needs per-call scratch (the float-staged RHS
+// panel, per-panel array bases) whose size is stable across steady-state
+// serving requests. Allocating it from the general heap on every submit
+// costs a malloc/free pair per request and defeats the engine's
+// zero-allocation goal, so each ThreadPool worker owns an Arena: a chain
+// of geometrically grown blocks carved out by pointer bump. Within one
+// reset cycle every returned pointer stays valid (blocks are never
+// reallocated, only appended), and reset()/ArenaScope release keeps the
+// capacity, so after the first request warms a worker up, later requests
+// of the same shape perform zero heap allocations — the invariant the
+// `jigsaw.engine.submit.allocations` counter and its regression test pin
+// down (docs/PERFORMANCE.md).
+//
+// Thread model: an Arena is single-threaded by design — one owner thread
+// bumps it; handing sub-buffers to OpenMP workers for read-only access
+// (or disjoint writes) is fine, concurrent allocate() is not.
+// thread_scratch_arena() gives every thread its own: the installed arena
+// when a ScopedArenaInstall is active on this thread (ThreadPool workers
+// install theirs for the lifetime of the worker loop), else a
+// thread_local fallback that lives until thread exit.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace jigsaw {
+
+/// Bump allocator over a chain of geometrically grown blocks. Pointers
+/// returned between two reset points are stable (growth appends a block,
+/// it never moves existing ones). Not thread-safe; see file comment.
+class Arena {
+ public:
+  static constexpr std::size_t kMinBlockBytes = 64 << 10;
+  /// Every allocation is aligned to this (enough for the scratch types
+  /// the kernels stage: float, std::size_t, small PODs).
+  static constexpr std::size_t kAlign = 64;
+
+  Arena() = default;
+  ~Arena() {
+    for (Block& blk : blocks_) {
+      ::operator delete(blk.data, std::align_val_t{kAlign});
+    }
+  }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of kAlign-aligned storage. Contents are
+  /// uninitialized. Grows the chain when the active block is full (the
+  /// only path that touches the heap).
+  void* allocate(std::size_t bytes) {
+    bytes = (bytes + kAlign - 1) & ~(kAlign - 1);
+    while (active_ < blocks_.size()) {
+      Block& blk = blocks_[active_];
+      if (blk.size - blk.used >= bytes) {
+        void* p = blk.data + blk.used;
+        blk.used += bytes;
+        return p;
+      }
+      // A partially filled block keeps its contents (pointers must stay
+      // valid until the enclosing scope releases); move on.
+      ++active_;
+    }
+    std::size_t size = blocks_.empty() ? kMinBlockBytes : blocks_.back().size * 2;
+    if (size < bytes) size = bytes;
+    Block blk;
+    // Plain operator new only guarantees __STDCPP_DEFAULT_NEW_ALIGNMENT__
+    // (16 on x86-64); the bump math assumes kAlign-aligned block bases.
+    blk.data = static_cast<std::byte*>(
+        ::operator new(size, std::align_val_t{kAlign}));
+    blk.size = size;
+    blk.used = bytes;
+    blocks_.push_back(blk);
+    active_ = blocks_.size() - 1;
+    return blk.data;
+  }
+
+  /// Typed array allocation (uninitialized; T must be trivial — the
+  /// arena never runs constructors or destructors).
+  template <typename T>
+  T* alloc(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena storage is never destroyed element-wise");
+    static_assert(alignof(T) <= kAlign, "over-aligned type in Arena");
+    return static_cast<T*>(allocate(count * sizeof(T)));
+  }
+
+  /// Rewinds every block to empty. Capacity (and block chain) is kept, so
+  /// the next fill of the same shape allocates nothing.
+  void reset() {
+    for (Block& blk : blocks_) blk.used = 0;
+    active_ = 0;
+  }
+
+  std::size_t capacity_bytes() const {
+    std::size_t total = 0;
+    for (const Block& blk : blocks_) total += blk.size;
+    return total;
+  }
+
+  std::size_t used_bytes() const {
+    std::size_t total = 0;
+    for (const Block& blk : blocks_) total += blk.used;
+    return total;
+  }
+
+  /// Rewind point for ArenaScope.
+  struct Marker {
+    std::size_t active = 0;
+    std::size_t used = 0;
+  };
+
+  Marker mark() const {
+    Marker m;
+    m.active = active_;
+    m.used = active_ < blocks_.size() ? blocks_[active_].used : 0;
+    return m;
+  }
+
+  /// Rewinds to `m`: blocks past the marker become empty, the marked
+  /// block drops back to its recorded fill. Blocks themselves are kept.
+  void release(Marker m) {
+    JIGSAW_ASSERT(m.active <= blocks_.size());
+    for (std::size_t i = m.active; i < blocks_.size(); ++i) {
+      blocks_[i].used = i == m.active ? m.used : 0;
+    }
+    active_ = m.active;
+  }
+
+ private:
+  struct Block {
+    std::byte* data = nullptr;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  std::vector<Block> blocks_;
+  std::size_t active_ = 0;
+};
+
+/// RAII scratch scope: allocations made through the scope are released
+/// (capacity kept) when it ends, so nested users of one thread's arena
+/// compose without stepping on each other.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena& arena) : arena_(arena), mark_(arena.mark()) {}
+  ~ArenaScope() { arena_.release(mark_); }
+
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+  template <typename T>
+  T* alloc(std::size_t count) {
+    return arena_.alloc<T>(count);
+  }
+
+ private:
+  Arena& arena_;
+  Arena::Marker mark_;
+};
+
+/// The calling thread's scratch arena: the installed one when a
+/// ScopedArenaInstall is active on this thread, else a thread_local
+/// fallback created on first use.
+Arena& thread_scratch_arena();
+
+/// Installs `arena` as this thread's scratch arena for the scope's
+/// lifetime (ThreadPool workers wrap their run loop in one, so every
+/// task they execute draws scratch from the worker-owned arena).
+class ScopedArenaInstall {
+ public:
+  explicit ScopedArenaInstall(Arena& arena);
+  ~ScopedArenaInstall();
+
+  ScopedArenaInstall(const ScopedArenaInstall&) = delete;
+  ScopedArenaInstall& operator=(const ScopedArenaInstall&) = delete;
+
+ private:
+  Arena* prev_ = nullptr;
+};
+
+}  // namespace jigsaw

@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/error.hpp"
 
 #if defined(JIGSAW_HAVE_OPENMP)
@@ -118,6 +119,12 @@ class ThreadPool {
 
  private:
   void worker_loop() {
+    // Each worker owns a scratch arena for its whole lifetime and
+    // installs it so every task it runs (engine submits in particular)
+    // draws kernel scratch from it: the first request grows it, later
+    // same-shape requests allocate nothing (common/arena.hpp).
+    Arena arena;
+    ScopedArenaInstall install(arena);
     for (;;) {
       std::function<void()> task;
       {

@@ -1,0 +1,28 @@
+// Portable spellings of the vectorization and prefetch hints the execute
+// hot path uses (docs/PERFORMANCE.md, "Execute-path pass").
+//
+// JIGSAW_PRAGMA_SIMD marks an inner loop whose iterations are
+// independent so the compiler may vectorize without a cost model veto.
+// It must only annotate loops whose scalar evaluation order is
+// element-wise independent (e.g. the j loop over output columns): each
+// output element's fp32 accumulation order is then unchanged, keeping
+// the SIMD route bit-identical to the scalar one — the invariant the
+// differential harness enforces. Compiled out when OpenMP is off (TSan
+// builds): the loop stays correct, just unannotated.
+//
+// JIGSAW_PREFETCH issues a best-effort read prefetch, used to pull the
+// next mma pair's values/metadata while the current one computes —
+// the CPU analog of the paper's §3.4 pipeline deepening.
+#pragma once
+
+#if defined(_OPENMP)
+#define JIGSAW_PRAGMA_SIMD _Pragma("omp simd")
+#else
+#define JIGSAW_PRAGMA_SIMD
+#endif
+
+#if defined(__GNUC__) || defined(__clang__)
+#define JIGSAW_PREFETCH(addr) __builtin_prefetch(addr)
+#else
+#define JIGSAW_PREFETCH(addr) ((void)(addr))
+#endif

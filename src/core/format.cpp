@@ -195,28 +195,49 @@ std::int64_t JigsawFormat::original_column(std::uint32_t panel,
   return col_idx_[ph.col_idx_offset + th.col_begin + pos];
 }
 
+JigsawFormat::PanelBases JigsawFormat::panel_bases(std::uint32_t panel) const {
+  PanelBases bases;
+  const auto slices = static_cast<std::size_t>(row_slices_per_panel());
+  for (std::uint32_t p = 0; p < panel; ++p) {
+    const std::size_t pairs = panels_[p].mma_pairs();
+    bases.values += pairs * slices * kValuesPerPair;
+    bases.metadata += pairs * slices * kMetaWordsPerPair;
+    bases.block_col_idx +=
+        static_cast<std::size_t>(panels_[p].tile_count) * slices * kPermEntries;
+  }
+  return bases;
+}
+
+std::uint32_t JigsawFormat::block_col_idx(std::uint32_t panel,
+                                          std::uint32_t slice,
+                                          std::uint32_t tile_in_panel,
+                                          std::uint32_t pos,
+                                          const PanelBases& bases) const {
+  const PanelHeader& ph = panels_[panel];
+  JIGSAW_ASSERT(tile_in_panel < ph.tile_count && pos < kPermEntries);
+  return block_col_idx_[bases.block_col_idx +
+                        (static_cast<std::size_t>(slice) * ph.tile_count +
+                         tile_in_panel) *
+                            kPermEntries +
+                        pos];
+}
+
 std::uint32_t JigsawFormat::block_col_idx(std::uint32_t panel,
                                           std::uint32_t slice,
                                           std::uint32_t tile_in_panel,
                                           std::uint32_t pos) const {
-  std::size_t base = 0;
-  for (std::uint32_t p = 0; p < panel; ++p) {
-    base += static_cast<std::size_t>(panels_[p].tile_count) *
-            static_cast<std::size_t>(row_slices_per_panel()) * kPermEntries;
-  }
-  const PanelHeader& ph = panels_[panel];
-  JIGSAW_ASSERT(tile_in_panel < ph.tile_count && pos < kPermEntries);
-  return block_col_idx_[base + (static_cast<std::size_t>(slice) *
-                                    ph.tile_count +
-                                tile_in_panel) *
-                                   kPermEntries +
-                        pos];
+  return block_col_idx(panel, slice, tile_in_panel, pos, panel_bases(panel));
 }
 
 sptc::CompressedTile JigsawFormat::load_compressed_tile(
-    std::uint32_t panel, std::uint32_t slice, std::uint32_t pair) const {
+    std::uint32_t panel, std::uint32_t slice, std::uint32_t pair,
+    const PanelBases& bases) const {
   sptc::CompressedTile tile;
-  const std::size_t voff = pair_value_offset(panel, slice, pair);
+  const std::uint32_t pairs = panels_[panel].mma_pairs();
+  JIGSAW_ASSERT(pair < pairs);
+  const std::size_t voff =
+      bases.values +
+      (static_cast<std::size_t>(slice) * pairs + pair) * kValuesPerPair;
   // Undo the Z-swizzle.
   std::size_t src = voff;
   for (int blk = 0; blk < 2; ++blk) {
@@ -228,15 +249,17 @@ sptc::CompressedTile JigsawFormat::load_compressed_tile(
     }
   }
 
-  const std::uint32_t pairs = panels_[panel].mma_pairs();
+  const std::size_t meta_base =
+      bases.metadata + static_cast<std::size_t>(slice) * pairs *
+                           kMetaWordsPerPair;
   if (layout_ == MetadataLayout::kNaive || (pair == pairs - 1 && pairs % 2)) {
-    const std::size_t moff = pair_metadata_index(panel, slice, pair);
+    const std::size_t moff = meta_base + pair * kMetaWordsPerPair;
     std::copy_n(metadata_.begin() + static_cast<std::ptrdiff_t>(moff), 16,
                 tile.metadata.begin());
   } else {
     const std::uint32_t group_first = pair & ~1u;
     const int f = static_cast<int>(pair & 1u);
-    const std::size_t goff = pair_metadata_index(panel, slice, group_first);
+    const std::size_t goff = meta_base + group_first * kMetaWordsPerPair;
     for (int w = 0; w < 16; ++w) {
       const int lane = sptc::metadata_owner_lane(w, f);
       tile.metadata[static_cast<std::size_t>(w)] =
@@ -244,6 +267,11 @@ sptc::CompressedTile JigsawFormat::load_compressed_tile(
     }
   }
   return tile;
+}
+
+sptc::CompressedTile JigsawFormat::load_compressed_tile(
+    std::uint32_t panel, std::uint32_t slice, std::uint32_t pair) const {
+  return load_compressed_tile(panel, slice, pair, panel_bases(panel));
 }
 
 JigsawFormat::Footprint JigsawFormat::memory_footprint() const {

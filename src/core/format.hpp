@@ -90,12 +90,33 @@ class JigsawFormat {
                               std::uint32_t tile_in_panel,
                               std::uint32_t pos) const;
 
+  /// Flat-array bases of one panel's segments. The plain accessors walk
+  /// the panel headers on every call (O(panel)); the execute hot path
+  /// computes the bases once per panel and uses the O(1) overloads below.
+  struct PanelBases {
+    std::size_t values = 0;         ///< into values()
+    std::size_t metadata = 0;       ///< into metadata()
+    std::size_t block_col_idx = 0;  ///< into block_col_idx_array()
+  };
+  PanelBases panel_bases(std::uint32_t panel) const;  ///< O(panel) walk
+
+  /// O(1) variant of block_col_idx given the panel's precomputed bases.
+  std::uint32_t block_col_idx(std::uint32_t panel, std::uint32_t slice,
+                              std::uint32_t tile_in_panel, std::uint32_t pos,
+                              const PanelBases& bases) const;
+
   /// Reconstructs the compressed tile (values + metadata) for one
   /// (panel, 16-row slice, mma pair) — exactly what a warp's fragment
   /// registers would hold before issuing mma.sp.
   sptc::CompressedTile load_compressed_tile(std::uint32_t panel,
                                             std::uint32_t slice,
                                             std::uint32_t pair) const;
+
+  /// O(1) variant given the panel's precomputed bases (see PanelBases).
+  sptc::CompressedTile load_compressed_tile(std::uint32_t panel,
+                                            std::uint32_t slice,
+                                            std::uint32_t pair,
+                                            const PanelBases& bases) const;
 
   /// Measured footprint of every component, in bytes.
   struct Footprint {

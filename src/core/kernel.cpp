@@ -1,11 +1,16 @@
+// jigsaw-lint: hot-path — the execute path lives here; container
+// construction inside this file must justify itself with an allow().
 #include "core/kernel.hpp"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cmath>
 
+#include "common/arena.hpp"
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "common/simd.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sptc/ldmatrix.hpp"
@@ -54,16 +59,21 @@ JigsawPlan jigsaw_plan(const DenseMatrix<fp16_t>& a,
   JigsawPlan plan;
   plan.version = options.version;
 
-  std::vector<int> block_tiles;
+  // Fixed candidate set — no heap scratch for a three-element list.
+  std::array<int, 3> block_tiles{};
+  std::size_t num_block_tiles = 0;
   if (feats.tile_tuning) {
     block_tiles = {16, 32, 64};
+    num_block_tiles = 3;
   } else {
-    block_tiles = {options.block_tile};
+    block_tiles[0] = options.block_tile;
+    num_block_tiles = 1;
   }
   const MetadataLayout layout = feats.interleaved_metadata
                                     ? MetadataLayout::kInterleaved
                                     : MetadataLayout::kNaive;
-  for (const int bt : block_tiles) {
+  for (std::size_t i = 0; i < num_block_tiles; ++i) {
+    const int bt = block_tiles[i];
     ReorderOptions ropts = options.reorder;
     ropts.tile.block_tile_m = bt;
     // V0 ships without any bank-conflict countermeasure, including the
@@ -106,81 +116,180 @@ float Epilogue::apply(float x, std::size_t row) const {
   return x;
 }
 
-DenseMatrix<float> jigsaw_compute(const JigsawFormat& f,
-                                  const DenseMatrix<fp16_t>& b,
-                                  const Epilogue& epilogue) {
+namespace {
+
+/// Default RHS column-panel width: 16 rows x 128 columns of fp32
+/// accumulators (8 KiB) plus the touched B panel rows stay comfortably
+/// inside L1/L2 while amortizing each staged A tile over many columns.
+constexpr std::size_t kDefaultPanelCols = 128;
+/// Upper bound so the per-thread accumulator tile stays a small fixed
+/// stack buffer (16 x 256 floats = 16 KiB).
+constexpr std::size_t kMaxPanelCols = 256;
+
+}  // namespace
+
+void jigsaw_compute_into(const JigsawFormat& f, const DenseMatrix<fp16_t>& b,
+                         DenseMatrix<float>& c, const Epilogue& epilogue,
+                         std::size_t panel_cols) {
   JIGSAW_TRACE_SCOPE("kernel", "kernel.compute");
   JIGSAW_CHECK_MSG(f.cols() == b.rows(), "SpMM shape mismatch: A cols "
                                              << f.cols() << " vs B rows "
                                              << b.rows());
-  const std::size_t m = f.rows(), n = b.cols();
+  JIGSAW_CHECK_MSG(c.rows() == f.rows() && c.cols() == b.cols(),
+                   "output shape mismatch: got " << c.rows() << "x" << c.cols()
+                                                 << ", want " << f.rows()
+                                                 << "x" << b.cols());
+  const std::size_t m = f.rows(), n = b.cols(), k = f.cols();
   const int bt = f.tile_config().block_tile_m;
   const int slices = f.row_slices_per_panel();
-  DenseMatrix<float> c(m, n);
+  const std::size_t num_panels = f.panels().size();
+  const std::size_t npw =
+      std::clamp<std::size_t>(panel_cols == 0 ? kDefaultPanelCols : panel_cols,
+                              1, kMaxPanelCols);
 
-  parallel_for(static_cast<std::int64_t>(f.panels().size()), [&](std::int64_t
-                                                                     pi) {
+  // Per-call scratch from the calling thread's arena: released (capacity
+  // kept) on scope exit, so a warmed-up serving thread allocates nothing.
+  Arena& arena = thread_scratch_arena();
+  ArenaScope scratch(arena);
+
+  // Stage the whole RHS as float once (every binary16 is exactly
+  // representable, so per-element conversion order cannot matter). Row k
+  // is kept all +0.0f: virtual padding columns gather from it, which is
+  // bit-identical to converting an fp16 zero on the fly. This replaces
+  // the per-(r, c, j) out-of-line half->float conversions that dominated
+  // the scalar kernel.
+  float* bf = scratch.alloc<float>((k + 1) * n);
+  parallel_for(static_cast<std::int64_t>(k), [&](std::int64_t r) {
+    const fp16_t* src = b.data() + static_cast<std::size_t>(r) * n;
+    float* dst = bf + static_cast<std::size_t>(r) * n;
+    for (std::size_t j = 0; j < n; ++j) dst[j] = static_cast<float>(src[j]);
+  });
+  std::fill(bf + k * n, bf + (k + 1) * n, 0.0f);
+
+  // Per-panel flat-array bases, precomputed in one O(panels) sweep so the
+  // hot loop uses the O(1) format accessors.
+  auto* bases = scratch.alloc<JigsawFormat::PanelBases>(num_panels);
+  {
+    JigsawFormat::PanelBases acc_base;
+    const auto values_per_pair = f.values_per_pair();
+    const auto meta_per_pair = f.metadata_words_per_pair();
+    for (std::size_t p = 0; p < num_panels; ++p) {
+      bases[p] = acc_base;
+      const std::size_t pairs = f.panels()[p].mma_pairs();
+      const auto s = static_cast<std::size_t>(slices);
+      acc_base.values += pairs * s * values_per_pair;
+      acc_base.metadata += pairs * s * meta_per_pair;
+      acc_base.block_col_idx += static_cast<std::size_t>(
+                                    f.panels()[p].tile_count) *
+                                s * kMmaTile;
+    }
+  }
+
+  parallel_for(static_cast<std::int64_t>(num_panels), [&](std::int64_t pi) {
     const auto p = static_cast<std::uint32_t>(pi);
     const JigsawFormat::PanelHeader& panel = f.panels()[p];
     const std::uint32_t pairs = panel.mma_pairs();
-    for (int s = 0; s < slices; ++s) {
-      const std::size_t row0 = static_cast<std::size_t>(pi) * bt +
-                               static_cast<std::size_t>(s) * kMmaTile;
-      if (row0 >= m) break;
-      const std::size_t mrows = std::min<std::size_t>(kMmaTile, m - row0);
+    const JigsawFormat::PanelBases& pb = bases[pi];
+    constexpr int kVals = sptc::kTileRows * sptc::kTileCompressedCols;
 
-      // Stage every pair's fragment data once per slice: compressed tile
-      // plus the gathered B-row index for each of the 32 logical columns.
-      std::vector<sptc::CompressedTile> tiles(pairs);
-      std::vector<std::array<std::int64_t, sptc::kTileLogicalCols>> brows(
-          pairs);
-      for (std::uint32_t pair = 0; pair < pairs; ++pair) {
-        tiles[pair] =
-            f.load_compressed_tile(p, static_cast<std::uint32_t>(s), pair);
-        for (int l = 0; l < sptc::kTileLogicalCols; ++l) {
-          const std::uint32_t t =
-              2 * pair + static_cast<std::uint32_t>(l / kMmaTile);
-          if (t >= panel.tile_count) {
-            brows[pair][static_cast<std::size_t>(l)] = -1;
-            continue;
-          }
-          const std::uint32_t pos = f.block_col_idx(
-              p, static_cast<std::uint32_t>(s), t,
-              static_cast<std::uint32_t>(l % kMmaTile));
-          brows[pair][static_cast<std::size_t>(l)] =
-              f.original_column(p, t, pos);
-        }
-      }
+    // Fixed per-thread staging; all of it lives on the worker's stack.
+    float acc[kMmaTile * kMaxPanelCols];
+    float af[kVals];             // A values, converted once per tile
+    std::uint32_t bidx[kVals];   // staged-B row of each compressed element
+    std::uint32_t browmap[sptc::kTileLogicalCols];
 
-      DenseMatrix<fp16_t> btile(sptc::kTileLogicalCols, 8);
-      DenseMatrix<float> acc(kMmaTile, 8);
-      for (std::size_t n0 = 0; n0 < n; n0 += 8) {
-        const std::size_t nw = std::min<std::size_t>(8, n - n0);
-        std::fill(acc.data(), acc.data() + acc.size(), 0.0f);
-        auto accv = acc.view().subview(0, 0, kMmaTile, nw);
+    // RHS panel batching: the column-panel loop sits above the row-tile
+    // (slice) loop, so each staged A tile is applied to the full resident
+    // B panel before moving on, and B is streamed panel-by-panel instead
+    // of being re-fetched per 8-wide chunk.
+    for (std::size_t n0 = 0; n0 < n; n0 += npw) {
+      const std::size_t nw = std::min(npw, n - n0);
+      for (int s = 0; s < slices; ++s) {
+        const std::size_t row0 = static_cast<std::size_t>(pi) * bt +
+                                 static_cast<std::size_t>(s) * kMmaTile;
+        if (row0 >= m) break;
+        const std::size_t mrows = std::min<std::size_t>(kMmaTile, m - row0);
+        std::fill(acc, acc + kMmaTile * nw, 0.0f);
+
         for (std::uint32_t pair = 0; pair < pairs; ++pair) {
+          if (pair + 1 < pairs) {
+            // Pipeline deepening (§3.4): pull the next pair's values and
+            // metadata while this one computes.
+            const std::size_t next =
+                (static_cast<std::size_t>(s) * pairs + pair + 1);
+            JIGSAW_PREFETCH(f.values().data() + pb.values +
+                            next * f.values_per_pair());
+            JIGSAW_PREFETCH(f.metadata().data() + pb.metadata +
+                            next * f.metadata_words_per_pair());
+          }
+          const sptc::CompressedTile tile = f.load_compressed_tile(
+              p, static_cast<std::uint32_t>(s), pair, pb);
+
+          // Gathered B-row (in the staged float RHS) of each of the 32
+          // logical columns; virtual positions hit the zero row k.
           for (int l = 0; l < sptc::kTileLogicalCols; ++l) {
-            const std::int64_t br = brows[pair][static_cast<std::size_t>(l)];
-            for (std::size_t j = 0; j < nw; ++j) {
-              btile(static_cast<std::size_t>(l), j) =
-                  br < 0 ? fp16_t{}
-                         : b(static_cast<std::size_t>(br), n0 + j);
+            const std::uint32_t t =
+                2 * pair + static_cast<std::uint32_t>(l / kMmaTile);
+            std::int64_t br = -1;
+            if (t < panel.tile_count) {
+              const std::uint32_t pos = f.block_col_idx(
+                  p, static_cast<std::uint32_t>(s), t,
+                  static_cast<std::uint32_t>(l % kMmaTile), pb);
+              br = f.original_column(p, t, pos);
+            }
+            browmap[l] = br < 0 ? static_cast<std::uint32_t>(k)
+                                : static_cast<std::uint32_t>(br);
+          }
+          for (int r = 0; r < sptc::kTileRows; ++r) {
+            for (int cc = 0; cc < sptc::kTileCompressedCols; ++cc) {
+              const int idx = r * sptc::kTileCompressedCols + cc;
+              af[idx] = static_cast<float>(tile.values[idx]);
+              bidx[idx] = browmap[tile.logical_col(r, cc)];
             }
           }
-          sptc::mma_sp_m16n8k32(
-              tiles[pair],
-              btile.view().subview(0, 0, sptc::kTileLogicalCols, nw), accv);
+
+          // The mma.sp accumulation. Per output element (r, j) the term
+          // order is (pair ascending, compressed column ascending) —
+          // identical to the scalar kernel, so results are bitwise equal;
+          // the j lanes are independent, hence the simd annotation.
+          for (int r = 0; r < sptc::kTileRows; ++r) {
+            float* arow = acc + static_cast<std::size_t>(r) * nw;
+            const int rbase = r * sptc::kTileCompressedCols;
+            for (int cc = 0; cc < sptc::kTileCompressedCols; ++cc) {
+              const float av = af[rbase + cc];
+              if (av == 0.0f) continue;  // matches the fp16 is_zero skip
+              const float* brow =
+                  bf + static_cast<std::size_t>(bidx[rbase + cc]) * n + n0;
+              JIGSAW_PRAGMA_SIMD
+              for (std::size_t j = 0; j < nw; ++j) {
+                arow[j] += av * brow[j];
+              }
+            }
+          }
         }
+
         for (std::size_t r = 0; r < mrows; ++r) {
-          for (std::size_t j = 0; j < nw; ++j) {
-            c(row0 + r, n0 + j) = epilogue.active()
-                                      ? epilogue.apply(acc(r, j), row0 + r)
-                                      : acc(r, j);
+          float* crow = c.data() + (row0 + r) * n + n0;
+          const float* arow = acc + r * nw;
+          if (epilogue.active()) {
+            for (std::size_t j = 0; j < nw; ++j) {
+              crow[j] = epilogue.apply(arow[j], row0 + r);
+            }
+          } else {
+            for (std::size_t j = 0; j < nw; ++j) crow[j] = arow[j];
           }
         }
       }
     }
   });
+}
+
+DenseMatrix<float> jigsaw_compute(const JigsawFormat& f,
+                                  const DenseMatrix<fp16_t>& b,
+                                  const Epilogue& epilogue) {
+  // jigsaw-lint: allow(hot-path-alloc): the output buffer itself
+  DenseMatrix<float> c(f.rows(), b.cols());
+  jigsaw_compute_into(f, b, c, epilogue);
   return c;
 }
 
@@ -319,24 +428,32 @@ PanelWalk walk_panel(const JigsawFormat& f, std::uint32_t p,
   return walk;
 }
 
-}  // namespace
-
-gpusim::KernelReport jigsaw_cost(const JigsawFormat& f, std::size_t n,
-                                 KernelVersion version,
-                                 const gpusim::CostModel& cost_model,
-                                 const JigsawTuning& tuning,
-                                 const Epilogue& epilogue) {
-  JIGSAW_TRACE_SCOPE("kernel", "kernel.cost_walk");
-  const KernelFeatures feats = KernelFeatures::for_version(version);
-  const gpusim::ArchSpec& arch = cost_model.arch();
-  const std::size_t num_panels = f.panels().size();
-  const std::size_t nblocks_per_panel = (n + kBlockTileN - 1) / kBlockTileN;
-
-  std::vector<PanelWalk> walks(num_panels);
-  parallel_for(static_cast<std::int64_t>(num_panels), [&](std::int64_t p) {
+/// One parallel sweep over every panel's structural cost walk. Shared by
+/// jigsaw_cost and jigsaw_cost_event so the (expensive, ldmatrix-replaying)
+/// walk happens once per cost query, not once per consumer.
+std::vector<PanelWalk> compute_panel_walks(const JigsawFormat& f,
+                                           const KernelFeatures& feats,
+                                           const JigsawTuning& tuning,
+                                           const gpusim::ArchSpec& arch) {
+  // jigsaw-lint: allow(hot-path-alloc): cold cost-walk scratch, one per query
+  std::vector<PanelWalk> walks(f.panels().size());
+  parallel_for(static_cast<std::int64_t>(walks.size()), [&](std::int64_t p) {
     walks[static_cast<std::size_t>(p)] = walk_panel(
         f, static_cast<std::uint32_t>(p), feats, tuning, arch);
   });
+  return walks;
+}
+
+/// Folds precomputed panel walks into the analytic kernel report (totals,
+/// DRAM/L2 reuse split, epilogue cost, launch config, obs counters).
+gpusim::KernelReport cost_from_walks(const JigsawFormat& f,
+                                     const std::vector<PanelWalk>& walks,
+                                     std::size_t n, KernelVersion version,
+                                     const gpusim::CostModel& cost_model,
+                                     const JigsawTuning& tuning,
+                                     const Epilogue& epilogue) {
+  const std::size_t num_panels = f.panels().size();
+  const std::size_t nblocks_per_panel = (n + kBlockTileN - 1) / kBlockTileN;
 
   gpusim::KernelCounters total;
   double b_reads = 0, a_reads = 0;
@@ -387,6 +504,7 @@ gpusim::KernelReport jigsaw_cost(const JigsawFormat& f, std::size_t n,
   launch.smem_per_block = f.tile_config().smem_bytes();
   launch.regs_per_thread = tuning.regs_per_thread;
 
+  // jigsaw-lint: allow(hot-path-alloc): cold report labelling
   std::string name = std::string("jigsaw_") + to_string(version) + "_bt" +
                      std::to_string(f.tile_config().block_tile_m);
   gpusim::KernelReport report =
@@ -395,6 +513,7 @@ gpusim::KernelReport jigsaw_cost(const JigsawFormat& f, std::size_t n,
   if (obs::metrics_enabled()) {
     // Per-version cost-walk counters: grid-wide totals of the structural
     // quantities the ablation (§4.4) argues about.
+    // jigsaw-lint: allow(hot-path-alloc): cold, metrics-enabled-only block
     const std::string prefix = std::string("kernel.") + to_string(version);
     obs::add(prefix + ".cost_walks");
     obs::add(prefix + ".mma_sp_issues", mma_sp_issues);
@@ -408,15 +527,35 @@ gpusim::KernelReport jigsaw_cost(const JigsawFormat& f, std::size_t n,
   return report;
 }
 
+}  // namespace
+
+gpusim::KernelReport jigsaw_cost(const JigsawFormat& f, std::size_t n,
+                                 KernelVersion version,
+                                 const gpusim::CostModel& cost_model,
+                                 const JigsawTuning& tuning,
+                                 const Epilogue& epilogue) {
+  JIGSAW_TRACE_SCOPE("kernel", "kernel.cost_walk");
+  const KernelFeatures feats = KernelFeatures::for_version(version);
+  // jigsaw-lint: allow(hot-path-alloc): move-init from the walk sweep
+  const std::vector<PanelWalk> walks =
+      compute_panel_walks(f, feats, tuning, cost_model.arch());
+  return cost_from_walks(f, walks, n, version, cost_model, tuning, epilogue);
+}
+
 JigsawEventCost jigsaw_cost_event(const JigsawFormat& f, std::size_t n,
                                   KernelVersion version,
                                   const gpusim::CostModel& cost_model,
                                   const JigsawTuning& tuning) {
   JIGSAW_TRACE_SCOPE("kernel", "kernel.cost_event");
-  JigsawEventCost out;
-  out.report = jigsaw_cost(f, n, version, cost_model, tuning);
-  const gpusim::ArchSpec& arch = cost_model.arch();
   const KernelFeatures feats = KernelFeatures::for_version(version);
+  const gpusim::ArchSpec& arch = cost_model.arch();
+  // One walk sweep feeds both the analytic report and the per-block
+  // durations below (previously every panel was walked twice).
+  // jigsaw-lint: allow(hot-path-alloc): move-init from the walk sweep
+  const std::vector<PanelWalk> walks =
+      compute_panel_walks(f, feats, tuning, arch);
+  JigsawEventCost out;
+  out.report = cost_from_walks(f, walks, n, version, cost_model, tuning, {});
   const std::size_t num_panels = f.panels().size();
   const std::size_t nblocks_per_panel = (n + kBlockTileN - 1) / kBlockTileN;
   const int bpsm = out.report.occupancy.blocks_per_sm;
@@ -424,10 +563,11 @@ JigsawEventCost jigsaw_cost_event(const JigsawFormat& f, std::size_t n,
   // Per-block duration: each resident block receives a 1/blocks_per_sm
   // share of its SM's pipes (and the grid-wide share of DRAM), so for
   // uniform blocks the makespan matches the analytic bound.
+  // jigsaw-lint: allow(hot-path-alloc): cold cost-walk scratch
   std::vector<double> durations;
   durations.reserve(num_panels * nblocks_per_panel);
   for (std::uint32_t p = 0; p < num_panels; ++p) {
-    const PanelWalk walk = walk_panel(f, p, feats, tuning, arch);
+    const PanelWalk& walk = walks[p];
     const auto& c = walk.per_block;
     const double share = static_cast<double>(bpsm);
     const double t_tc =

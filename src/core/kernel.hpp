@@ -83,6 +83,23 @@ DenseMatrix<float> jigsaw_compute(const JigsawFormat& format,
                                   const DenseMatrix<fp16_t>& b,
                                   const Epilogue& epilogue = {});
 
+/// Allocation-free variant: computes into a caller-provided output sized
+/// format.rows() x b.cols(). Scratch (the float-staged RHS, per-panel
+/// array bases) comes from the calling thread's scratch arena
+/// (common/arena.hpp), so steady-state calls on a warmed-up thread touch
+/// the heap zero times — the property the engine's
+/// `jigsaw.engine.submit.allocations` counter tracks.
+///
+/// `panel_cols` selects the RHS column-panel width the row tiles are
+/// blocked over (0 picks the cache-sized default). Output columns are
+/// independent sums, so every width yields bit-identical results; the
+/// knob exists for cache tuning and for the differential tests that pin
+/// the invariance down.
+void jigsaw_compute_into(const JigsawFormat& format,
+                         const DenseMatrix<fp16_t>& b, DenseMatrix<float>& c,
+                         const Epilogue& epilogue = {},
+                         std::size_t panel_cols = 0);
+
 /// Cost walk only: simulated report for one format at one kernel version.
 gpusim::KernelReport jigsaw_cost(const JigsawFormat& format, std::size_t n,
                                  KernelVersion version,

@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "common/alloc_count.hpp"
 #include "common/error.hpp"
 #include "core/format_limits.hpp"
 #include "obs/metrics.hpp"
@@ -284,7 +285,24 @@ Result<DenseMatrix<float>> Engine::execute(
       JIGSAW_CHECK_MSG(rr.c.has_value(), "jigsaw_run dropped the values");
       c = std::move(*rr.c);
     } else {
-      c = core::jigsaw_compute(handle.format(), b, run.epilogue);
+      // Steady-state serving path: pre-size the output, then count heap
+      // traffic across the kernel proper. On a warmed-up worker (arena
+      // grown, pool caches primed) the delta is zero — the regression
+      // test in test_engine.cpp pins that down. The hybrid and kRaw
+      // branches run cost walks with inherent cold allocations and are
+      // deliberately outside the window.
+      c = DenseMatrix<float>(handle.rows, b.cols());
+      const std::uint64_t heap_before = heap_allocation_count();
+      core::jigsaw_compute_into(handle.format(), b, c, run.epilogue);
+      const std::uint64_t heap_delta =
+          heap_allocation_count() - heap_before;
+      // Cached reference: a registry lookup hashes the name and may
+      // itself allocate, which would poison the window on the next call.
+      static obs::Counter& submit_allocs =
+          // jigsaw-lint: allow(obs-name): the counter is named after the
+          // serving API surface (engine.submit), not an obs subsystem.
+          obs::counter("jigsaw.engine.submit.allocations");
+      submit_allocs.add(static_cast<double>(heap_delta));
     }
     obs::observe(
         "engine.execute_seconds",

@@ -1,8 +1,10 @@
+// jigsaw-lint: hot-path — replayed per cost-walk k-step; keep it flat.
 #include "sptc/ldmatrix.hpp"
 
 #include <array>
 
 #include "common/error.hpp"
+#include "common/simd.hpp"
 
 namespace jigsaw::sptc {
 
@@ -13,10 +15,12 @@ namespace {
 void run_stage(std::span<const std::uint32_t> rows8,
                gpusim::SmemTracker& smem) {
   std::array<std::uint32_t, 32> lane_addr;
-  for (int r = 0; r < 8; ++r) {
-    for (int j = 0; j < 4; ++j) {
-      lane_addr[4 * r + j] = rows8[r] + static_cast<std::uint32_t>(4 * j);
-    }
+  // Lane addresses are pure functions of the lane id — ideal SIMD fill.
+  JIGSAW_PRAGMA_SIMD
+  for (int lane = 0; lane < 32; ++lane) {
+    lane_addr[static_cast<std::size_t>(lane)] =
+        rows8[static_cast<std::size_t>(lane / 4)] +
+        static_cast<std::uint32_t>(4 * (lane % 4));
   }
   smem.load(lane_addr, 4);
 }

@@ -1,6 +1,8 @@
+// jigsaw-lint: hot-path — functional mma loops; no container construction.
 #include "sptc/mma_sp.hpp"
 
 #include "common/error.hpp"
+#include "common/simd.hpp"
 
 namespace jigsaw::sptc {
 
@@ -10,15 +12,31 @@ void mma_sp_m16n8k32(const CompressedTile& a, ConstSpan2d<fp16_t> b,
   JIGSAW_CHECK(d.rows() == kTileRows);
   JIGSAW_CHECK(b.cols() == d.cols() && d.cols() <= 8);
   const std::size_t n = d.cols();
+
+  // Convert the B fragment to float once per mma instead of once per
+  // referencing element: the out-of-line half->float conversion is the
+  // scalar path's dominant cost. binary16 -> binary32 is exact, so doing
+  // it early cannot change any product below.
+  float bf[kTileLogicalCols * 8];
+  for (int k = 0; k < kTileLogicalCols; ++k) {
+    const fp16_t* brow = b.row(static_cast<std::size_t>(k));
+    float* dst = bf + 8 * k;
+    for (std::size_t j = 0; j < n; ++j) dst[j] = static_cast<float>(brow[j]);
+  }
+
   for (int r = 0; r < kTileRows; ++r) {
+    float* drow = d.row(static_cast<std::size_t>(r));
     for (int c = 0; c < kTileCompressedCols; ++c) {
       const fp16_t av = a.value(r, c);
       if (av.is_zero()) continue;
       const float af = static_cast<float>(av);
       // The hardware selector: metadata picks the B row inside the group.
-      const int brow = a.logical_col(r, c);
+      const float* brow = bf + 8 * a.logical_col(r, c);
+      // Output columns are independent accumulators; per-(r, j) term order
+      // (c ascending) is untouched, so vectorizing stays bit-identical.
+      JIGSAW_PRAGMA_SIMD
       for (std::size_t j = 0; j < n; ++j) {
-        d(r, j) += af * static_cast<float>(b(brow, j));
+        drow[j] += af * brow[j];
       }
     }
   }
@@ -30,12 +48,24 @@ void mma_m16n8k16(ConstSpan2d<fp16_t> a, ConstSpan2d<fp16_t> b,
   JIGSAW_CHECK(b.rows() == 16);
   JIGSAW_CHECK(d.rows() == 16 && d.cols() == b.cols() && d.cols() <= 8);
   const std::size_t n = d.cols();
+
+  float bf[16 * 8];
+  for (int k = 0; k < 16; ++k) {
+    const fp16_t* brow = b.row(static_cast<std::size_t>(k));
+    float* dst = bf + 8 * k;
+    for (std::size_t j = 0; j < n; ++j) dst[j] = static_cast<float>(brow[j]);
+  }
+
   for (int r = 0; r < 16; ++r) {
+    float* drow = d.row(static_cast<std::size_t>(r));
+    const fp16_t* arow = a.row(static_cast<std::size_t>(r));
     for (int k = 0; k < 16; ++k) {
-      const float af = static_cast<float>(a(r, k));
+      const float af = static_cast<float>(arow[k]);
       if (af == 0.0f) continue;
+      const float* brow = bf + 8 * k;
+      JIGSAW_PRAGMA_SIMD
       for (std::size_t j = 0; j < n; ++j) {
-        d(r, j) += af * static_cast<float>(b(k, j));
+        drow[j] += af * brow[j];
       }
     }
   }

@@ -1,8 +1,10 @@
+// jigsaw-lint: hot-path — functional mma loops; no container construction.
 #include "sptc/mma_sp_int8.hpp"
 
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/simd.hpp"
 
 namespace jigsaw::sptc {
 
@@ -66,14 +68,17 @@ void mma_sp_m16n8k64_s8(const CompressedTileInt8& a,
   JIGSAW_CHECK(b.cols() == d.cols() && d.cols() <= 8);
   const std::size_t n = d.cols();
   for (int r = 0; r < kInt8TileRows; ++r) {
+    std::int32_t* drow = d.row(static_cast<std::size_t>(r));
     for (int c = 0; c < kInt8CompressedCols; ++c) {
       const std::int32_t av = a.value(r, c);
       if (av == 0) continue;
-      const int brow = a.logical_col(r, c);
+      const std::int8_t* brow =
+          b.row(static_cast<std::size_t>(a.logical_col(r, c)));
+      // Integer accumulation is associative; the annotation just unlocks
+      // the widening multiply-add vectorization.
+      JIGSAW_PRAGMA_SIMD
       for (std::size_t j = 0; j < n; ++j) {
-        d(static_cast<std::size_t>(r), j) +=
-            av * static_cast<std::int32_t>(
-                     b(static_cast<std::size_t>(brow), j));
+        drow[j] += av * static_cast<std::int32_t>(brow[j]);
       }
     }
   }

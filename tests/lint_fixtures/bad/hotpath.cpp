@@ -1,0 +1,21 @@
+// Bad fixture: container construction inside a file tagged as a hot
+// path (rule hot-path-alloc).
+// jigsaw-lint: hot-path
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+float sum(const std::vector<float>& xs);  // clean: reference parameter
+
+float execute(std::size_t n) {
+  std::vector<float> scratch(n, 0.0f);  // finding: sized construction
+  std::vector<int> cols;                // finding: default construction
+  std::string label = "tile";           // finding: assignment init
+  cols.push_back(static_cast<int>(label.size()));
+  // jigsaw-lint: allow(hot-path-alloc): demonstrating the suppression
+  std::vector<float> cold(4);  // clean: explicitly allowed
+  return sum(scratch) + sum(cold) + static_cast<float>(cols[0]);
+}
+
+}  // namespace fixture

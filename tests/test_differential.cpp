@@ -165,6 +165,57 @@ TEST(Differential, HybridRouteMatchesReferenceAndIsThreadCountInvariant) {
   }
 }
 
+TEST(Differential, ComputeIntoIsPanelWidthInvariantBitwise) {
+  // The batched execute path blocks the RHS into column panels; output
+  // columns are independent sums, so every width — including widths that
+  // straddle or undershoot the SIMD chunks — must reproduce the default
+  // result exactly, for both metadata layouts.
+  for (const SweepCase& c : sweep_cases()) {
+    const auto a = lhs_for(c);
+    const auto b = dlmc::make_rhs(c.k, kN, c.seed + 5000);
+    const auto ref = reference_gemm(a, b);
+    const auto reorder = multi_granularity_reorder(a);
+    for (const auto layout :
+         {MetadataLayout::kNaive, MetadataLayout::kInterleaved}) {
+      const auto f = JigsawFormat::build(a, reorder, layout);
+      const auto base = jigsaw_compute(f, b);
+      EXPECT_TRUE(allclose(base, ref, c.k))
+          << describe(c) << " max diff " << max_abs_diff(base, ref);
+      for (const std::size_t pc : {std::size_t{1}, std::size_t{7},
+                                   std::size_t{8}, std::size_t{24},
+                                   std::size_t{64}, std::size_t{1024}}) {
+        DenseMatrix<float> out(a.rows(), kN);
+        jigsaw_compute_into(f, b, out, {}, pc);
+        EXPECT_TRUE(out == base) << describe(c) << " panel_cols=" << pc;
+      }
+    }
+  }
+}
+
+TEST(Differential, FusedEpilogueIsPanelWidthInvariantBitwise) {
+  // Bias + ReLU applied at write-back must not observe the panel blocking
+  // either: apply() sees one finished accumulator per element regardless
+  // of how columns were chunked.
+  const SweepCase c{100, 130, 92, 4, 52};
+  const auto a = lhs_for(c);
+  const auto b = dlmc::make_rhs(c.k, kN, c.seed + 6000);
+  std::vector<float> bias(c.m);
+  for (std::size_t r = 0; r < c.m; ++r) {
+    bias[r] = 0.25f * static_cast<float>(r % 7) - 0.5f;
+  }
+  Epilogue ep;
+  ep.activation = Epilogue::Activation::kRelu;
+  ep.bias = &bias;
+  const auto format = JigsawFormat::build(a, multi_granularity_reorder(a));
+  const auto base = jigsaw_compute(format, b, ep);
+  for (const std::size_t pc : {std::size_t{1}, std::size_t{24},
+                               std::size_t{64}}) {
+    DenseMatrix<float> out(a.rows(), kN);
+    jigsaw_compute_into(format, b, out, ep, pc);
+    EXPECT_TRUE(out == base) << "panel_cols=" << pc;
+  }
+}
+
 TEST(Differential, PlanIsReproducibleAcrossRepeatedCalls) {
   // Same input, same options -> bit-identical plan and result, twice in a
   // row (guards against hidden global state leaking between runs).

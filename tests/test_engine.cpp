@@ -295,6 +295,62 @@ TEST(EnginePolicy, HybridAndRawRoutesMatchTheReference) {
   EXPECT_EQ(engine.cache_stats().entries, 3u);
 }
 
+// ---- Steady-state allocation behavior -------------------------------------
+
+TEST(EngineSteadyState, WarmedUpSubmitsAllocateNothing) {
+  // The zero-allocation contract of the serving path: after a worker's
+  // arena has grown to the request shape and the pool's caches are primed,
+  // the kernel proper (the window `jigsaw.engine.submit.allocations`
+  // counts) must touch the heap zero times per submit.
+  obs::reset_metrics();
+  obs::set_metrics_enabled(true);
+  EngineConfig config;
+  config.worker_threads = 1;  // one worker -> one arena -> deterministic
+  Engine engine(config);
+
+  const auto a = lhs_for({128, 256, 80, 4, 22});
+  const auto b = dlmc::make_rhs(256, 64, 7);
+  auto compiled = engine.compile(a);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().to_string();
+
+  // Warm-up: grows the worker arena, primes thread-pool and obs caches.
+  for (int i = 0; i < 3; ++i) {
+    auto warm = engine.submit(compiled.value(), b).get();
+    ASSERT_TRUE(warm.ok()) << warm.status().to_string();
+  }
+
+  const double before = counter_value("jigsaw.engine.submit.allocations");
+  for (int i = 0; i < 5; ++i) {
+    auto result = engine.submit(compiled.value(), b).get();
+    ASSERT_TRUE(result.ok()) << result.status().to_string();
+  }
+  const double delta =
+      counter_value("jigsaw.engine.submit.allocations") - before;
+  EXPECT_EQ(delta, 0.0)
+      << "steady-state submits performed " << delta << " heap allocations";
+  obs::set_metrics_enabled(false);
+}
+
+TEST(EngineSteadyState, AllocationCounterTracksColdSubmits) {
+  // Counterpart guard: the counter is live, not a constant zero — the
+  // first (cold) submit grows the arena inside the counted window.
+  obs::reset_metrics();
+  obs::set_metrics_enabled(true);
+  EngineConfig config;
+  config.worker_threads = 1;
+  Engine engine(config);
+
+  const auto a = lhs_for({64, 128, 80, 2, 21});
+  const auto b = dlmc::make_rhs(128, 32, 9);
+  auto compiled = engine.compile(a);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().to_string();
+  auto first = engine.submit(compiled.value(), b).get();
+  ASSERT_TRUE(first.ok());
+  EXPECT_GT(counter_value("jigsaw.engine.submit.allocations"), 0.0)
+      << "cold submit should have grown the worker arena in-window";
+  obs::set_metrics_enabled(false);
+}
+
 // ---- Concurrency ----------------------------------------------------------
 
 TEST(EngineConcurrency, EightThreadSubmitsAreBitIdenticalToSingleThread) {

@@ -160,5 +160,58 @@ TEST(EngineStress, SameKeyCompiledFromEveryThread) {
   EXPECT_GT(engine.cache_stats().hits, 0u);
 }
 
+TEST(EngineStress, ArenaReuseAcrossShapeChangingSubmits) {
+  // Each pool worker owns one scratch arena that every submit reuses; the
+  // risk under concurrency is stale-capacity reuse — request A's scratch
+  // shape bleeding into request B on the same worker. Hammer one small
+  // pool with interleaved shapes (different k, n, and m) from many client
+  // threads and require every product bit-identical to its ground truth.
+  // Under TSan this also proves arena install/reset never races.
+  Engine reference_engine;
+  std::vector<Workload> work = make_workloads(reference_engine);
+  // A deliberately bigger RHS so consecutive submits on one worker swing
+  // the arena's float-staged B between very different sizes.
+  {
+    Workload wide;
+    wide.a = dlmc::make_lhs({128, 256}, 0.9, 4, 91).values();
+    wide.b = dlmc::make_rhs(wide.a.cols(), 96, 591);
+    auto compiled = reference_engine.compile(wide.a);
+    ASSERT_TRUE(compiled.ok()) << compiled.status().to_string();
+    auto product = reference_engine.execute(*compiled.value(), wide.b);
+    ASSERT_TRUE(product.ok()) << product.status().to_string();
+    wide.expected = std::move(product).value();
+    work.push_back(std::move(wide));
+  }
+  ASSERT_EQ(work.size(), 5u);
+
+  EngineConfig config;
+  config.worker_threads = 2;  // few workers -> heavy per-arena reuse
+  Engine engine(config);
+  std::vector<std::shared_ptr<const CompiledMatrix>> handles;
+  for (const Workload& w : work) {
+    auto compiled = engine.compile(w.a);
+    ASSERT_TRUE(compiled.ok()) << compiled.status().to_string();
+    handles.push_back(compiled.value());
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kItersPerThread; ++i) {
+        const std::size_t pick = (t * kItersPerThread + i) % work.size();
+        auto result = engine.submit(handles[pick], work[pick].b).get();
+        if (!result.ok() ||
+            !bit_identical(result.value(), work[pick].expected)) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
 }  // namespace
 }  // namespace jigsaw::engine

@@ -144,6 +144,35 @@ TEST(LintRules, DiscardedStatusDropsAmbiguousNames) {
   EXPECT_TRUE(lint::run_rules({header, caller}).empty());
 }
 
+TEST(LintRules, HotPathAllocFiresOnlyInTaggedFiles) {
+  const std::string code =
+      "#include <vector>\n"
+      "void f() { std::vector<int> v(3); }\n";
+  // Untagged: the rule must stay silent no matter what the file builds.
+  EXPECT_TRUE(lint::run_rules({lint::parse_source("x/a.cpp", code)},
+                              {"hot-path-alloc"})
+                  .empty());
+  const lint::SourceFile tagged =
+      lint::parse_source("x/b.cpp", "// jigsaw-lint: hot-path\n" + code);
+  const auto findings = lint::run_rules({tagged}, {"hot-path-alloc"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "hot-path-alloc");
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(LintRules, HotPathAllocSkipsReferencesAndDeclarations) {
+  // References, pointers and function declarations (type-only parameter
+  // lists) construct nothing; only value declarations should trip.
+  const lint::SourceFile f = lint::parse_source("x/hot.cpp",
+      "// jigsaw-lint: hot-path\n"
+      "#include <string>\n"
+      "#include <vector>\n"
+      "float sum(const std::vector<float>& xs);\n"
+      "std::vector<int> make(std::size_t count);\n"
+      "void g(std::vector<float>* out, std::string& label);\n");
+  EXPECT_TRUE(lint::run_rules({f}, {"hot-path-alloc"}).empty());
+}
+
 TEST(LintRules, ExplicitVoidCastIsNotADiscard) {
   const lint::SourceFile header = lint::parse_source("a.hpp",
       "#pragma once\n"

@@ -760,6 +760,79 @@ void rule_raw_alloc(const SourceFile& f, std::vector<Finding>& findings) {
   }
 }
 
+// ---- Rule: hot-path-alloc ------------------------------------------------
+
+/// Allocating container/type heads the hot-path rule watches for.
+const std::set<std::string>& hot_path_containers() {
+  static const std::set<std::string> kContainers = {
+      "vector",        "string",        "basic_string", "deque",
+      "list",          "map",           "set",          "multimap",
+      "multiset",      "unordered_map", "unordered_set", "stringstream",
+      "ostringstream", "istringstream", "function",     "DenseMatrix",
+      "CsrMatrix"};
+  return kContainers;
+}
+
+/// True when toks[j] (an opening paren) starts an expression argument
+/// list — a constructor call — rather than a function declaration's
+/// parameter list (types). Token-level approximation: expressions open
+/// with a literal, or an identifier followed by an operator-ish token.
+bool paren_starts_expression(const std::vector<Token>& toks, std::size_t j) {
+  if (j + 1 >= toks.size()) return false;
+  const Token& a = toks[j + 1];
+  if (a.kind == Kind::kNumber || a.kind == Kind::kString) return true;
+  if (a.kind != Kind::kIdent || j + 2 >= toks.size()) return false;
+  static const std::set<std::string> kExprFollow = {")", ",", ".", "->",
+                                                    "(", "["};
+  return kExprFollow.count(toks[j + 2].text) > 0;
+}
+
+/// Files that opt in with a `// jigsaw-lint: hot-path` tag promise their
+/// execute loops construct no containers: every declaration or temporary
+/// of an allocating type must carry an allow(hot-path-alloc) naming why
+/// that site is cold. Token-level, so function declarations whose
+/// parameter lists read as types stay silent.
+void rule_hot_path_alloc(const SourceFile& f,
+                         std::vector<Finding>& findings) {
+  if (f.content.find("jigsaw-lint: hot-path") == std::string::npos) return;
+  const std::vector<Token>& toks = f.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Kind::kIdent || hot_path_containers().count(t.text) == 0) {
+      continue;
+    }
+    // Member calls that merely share a name (x.function(), s.set(...)).
+    if (i > 0 &&
+        (punct_is(toks[i - 1], ".") || punct_is(toks[i - 1], "->"))) {
+      continue;
+    }
+    std::size_t j = i + 1;
+    if (j < toks.size() && punct_is(toks[j], "<")) {
+      j = skip_template_args(toks, j);
+    }
+    if (j >= toks.size()) continue;
+    bool constructed = false;
+    if (punct_is(toks[j], "(")) {
+      constructed = paren_starts_expression(toks, j);  // temporary
+    } else if (toks[j].kind == Kind::kIdent && j + 1 < toks.size()) {
+      // Named declaration: `vector<T> name;` / `= ...` / `{...}` /
+      // `(args)`. References and pointers never reach here (the `&`/`*`
+      // after the template args fails the ident check).
+      const Token& after = toks[j + 1];
+      constructed = punct_is(after, ";") || punct_is(after, "=") ||
+                    punct_is(after, "{") ||
+                    (punct_is(after, "(") &&
+                     paren_starts_expression(toks, j + 1));
+    }
+    if (constructed) {
+      report(findings, f, toks[j].line, "hot-path-alloc",
+             "`" + t.text + "` constructed in a hot-path file: hoist the "
+             "allocation to the caller's arena (common/arena.hpp) or mark "
+             "the cold site with jigsaw-lint: allow(hot-path-alloc)");
+    }
+  }
+}
+
 // ---- Rule: header-hygiene ------------------------------------------------
 
 struct SymbolRequirement {
@@ -913,7 +986,7 @@ SourceFile load_source(const std::string& path) {
 std::vector<std::string> rule_names() {
   return {"nodiscard-status", "discarded-status", "bounded-alloc",
           "no-magic-bounds",  "obs-name",         "raw-alloc",
-          "header-hygiene"};
+          "hot-path-alloc",   "header-hygiene"};
 }
 
 std::vector<Finding> run_rules(const std::vector<SourceFile>& files,
@@ -952,6 +1025,7 @@ std::vector<Finding> run_rules(const std::vector<SourceFile>& files,
     if (active.count("no-magic-bounds")) rule_no_magic_bounds(f, findings);
     if (active.count("obs-name")) rule_obs_name(f, findings);
     if (active.count("raw-alloc")) rule_raw_alloc(f, findings);
+    if (active.count("hot-path-alloc")) rule_hot_path_alloc(f, findings);
     if (active.count("header-hygiene")) rule_header_hygiene(f, findings);
   }
   std::sort(findings.begin(), findings.end(),

@@ -19,6 +19,10 @@
 //                     the `<subsystem>.<noun>[_<unit>]` convention of
 //                     docs/OBSERVABILITY.md
 //   raw-alloc         no raw new/delete/malloc outside src/common/
+//   hot-path-alloc    files tagged `// jigsaw-lint: hot-path` construct
+//                     no containers (vector/string/DenseMatrix/...) —
+//                     hot loops draw scratch from the caller's arena;
+//                     cold sites carry an explicit allow()
 //   header-hygiene    headers start with #pragma once and directly
 //                     include the std headers of the std:: symbols they
 //                     use (IWYU-lite)
