@@ -1,15 +1,22 @@
-// Engine serving baseline (google-benchmark): the three latencies a serving
+// Engine serving baseline (google-benchmark): the latencies a serving
 // deployment cares about — cold compile (full reorder + format build + plan),
-// warm compile (plan-cache hit, no preprocessing), and concurrent submit
-// throughput on the engine's worker pool across worker counts. The tracked
-// BENCH_engine.json baseline records all three so cache or pool regressions
-// show up next to the kernel numbers in BENCH_spmm.json.
+// warm compile (plan-cache hit, no preprocessing), concurrent submit
+// throughput on the engine's worker pool across worker counts, and the
+// Engine::update streaming-delta latency at 0.1% / 1% / 10% of nnz
+// (delta_pm, per-mille). The update series is the incremental-recompile
+// story in one number: a row-clustered delta dirties 2 of the 8 row
+// panels, so update should land well under bench_engine_compile_cold. The
+// tracked BENCH_engine.json baseline records all of these so cache, pool
+// or splice regressions show up next to the kernel numbers in
+// BENCH_spmm.json.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <future>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -107,6 +114,67 @@ void bench_engine_submit(benchmark::State& state) {
   state.counters["workers"] = static_cast<double>(engine.worker_count());
 }
 
+// Update latency: each iteration streams one value-rewrite delta of
+// `delta_pm` per-mille of the matrix nnz through Engine::update. The
+// entries are row-clustered into the first two BLOCK_TILE-64 panels (the
+// fine-tuning locality the incremental path is built for) and rewrite
+// existing nonzeros only, so the sparsity structure — and therefore the
+// per-panel reorder search space — stays fixed while values churn. Delta
+// generation is outside the timed region; the timed cost is apply +
+// dirty-panel replan + format splice + RCU publish.
+void bench_engine_update(benchmark::State& state) {
+  const auto pm = static_cast<std::size_t>(state.range(0));
+  const auto a = dlmc::make_lhs(kShape, kSparsity, 4).values();
+
+  constexpr std::size_t kRowWindow = 128;  // 2 of the 8 row panels
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pool;
+  for (std::uint32_t r = 0; r < kRowWindow; ++r) {
+    for (std::uint32_t c = 0; c < kShape.k; ++c) {
+      if (!a(r, c).is_zero()) pool.emplace_back(r, c);
+    }
+  }
+  std::size_t nnz = pool.size();
+  for (std::size_t r = kRowWindow; r < kShape.m; ++r) {
+    for (std::size_t c = 0; c < kShape.k; ++c) nnz += !a(r, c).is_zero();
+  }
+  const std::size_t entries = std::max<std::size_t>(1, nnz * pm / 1000);
+  if (entries > pool.size()) {
+    state.SkipWithError("delta larger than the row-window nonzero pool");
+    return;
+  }
+
+  EngineOptions options;
+  options.compile.updatable = true;
+  Engine engine;
+  auto compiled = engine.compile(a, options);
+  if (!compiled.ok()) {
+    state.SkipWithError(compiled.status().to_string().c_str());
+    return;
+  }
+  auto current = compiled.value();
+
+  Rng rng(mix_seed(0xde17a, pm));
+  for (auto _ : state) {
+    state.PauseTiming();
+    SparseDelta delta;
+    for (std::size_t i = 0; i < entries; ++i) {
+      const auto& [r, c] = pool[rng.next_below(pool.size())];
+      delta.set(r, c, rng.uniform(0.25f, 1.0f));
+    }
+    state.ResumeTiming();
+    auto updated = engine.update(current, delta);
+    if (!updated.ok()) {
+      state.SkipWithError(updated.status().to_string().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(updated.value().get());
+    current = updated.value();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["delta_entries"] = static_cast<double>(entries);
+  state.counters["generation"] = static_cast<double>(current->generation);
+}
+
 }  // namespace
 }  // namespace jigsaw
 
@@ -120,6 +188,12 @@ BENCHMARK(jigsaw::bench_engine_submit)
     ->Arg(8)
     ->ArgName("workers")
     ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(jigsaw::bench_engine_update)
+    ->Arg(1)
+    ->Arg(10)
+    ->Arg(100)
+    ->ArgName("delta_pm")
     ->Unit(benchmark::kMillisecond);
 
 // Custom main mirroring spmm_throughput: `--json` writes the tracked

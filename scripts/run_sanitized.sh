@@ -8,9 +8,11 @@
 #
 #   scripts/run_sanitized.sh thread      ThreadSanitizer over the
 #       concurrency surfaces: the engine suites (test_engine,
-#       test_engine_stress) and the differential harness that submits
-#       concurrently. TSan builds go to their own build directory and
-#       disable OpenMP (libgomp is uninstrumented; see root CMakeLists).
+#       test_engine_update, the stress-labeled test_engine_stress with its
+#       concurrent Engine::update soak) and the differential harness that
+#       submits concurrently. TSan builds go to their own build directory
+#       and disable OpenMP (libgomp is uninstrumented; see root
+#       CMakeLists).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -37,8 +39,10 @@ case "$MODE" in
     # halt_on_error: a single race fails the run instead of scrolling by;
     # second_deadlock_stack helps with the lock-order reports.
     export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+    # stress is in the label filter on purpose: the EngineStress suite is
+    # labeled stress (not unit) and is the main thing TSan is here for.
     ctest --test-dir "$BUILD_DIR" --output-on-failure \
-      -R "EngineStress|Engine|Differential" -L "unit|property"
+      -R "EngineStress|Engine|Differential" -L "unit|property|stress"
     ;;
   *)
     echo "usage: $0 [address|thread]" >&2

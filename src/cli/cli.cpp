@@ -59,11 +59,16 @@ commands:
   serve [a.mtx] [--rows 128 --cols 128 --sparsity 0.85 --vector-width 4]
         [--requests 16] [--threads 4] [--n 32] [--seed 1]
         [--policy auto|raw|checked|hybrid] [--device a100|a100-80g|h100]
+        [--update-every N]
       Drive the serving engine end-to-end: compile the matrix once
       (with a warm recompile to demonstrate the plan cache), then submit
       N random right-hand sides across T worker threads and print cache,
       latency, and throughput statistics. Without an input file a
       vector-sparse matrix is generated from the --rows/--cols flags.
+      --update-every N compiles the matrix updatable and streams a small
+      weight delta through Engine::update every N requests while the
+      submits keep flowing through Engine::latest — the final
+      verification runs against the mutated matrix.
 
   profile [a.mtx] [--rows 512 --cols 512 --sparsity 0.8 --vector-width 4]
           [--n 256] [--seed 1] [--trace out.json] [--all-metrics]
@@ -490,13 +495,14 @@ core::ExecutionPolicy parse_policy(const std::string& name) {
 int cmd_serve(const Args& args, std::ostream& out) {
   fail_on_unknown_flags(args, {"rows", "cols", "sparsity", "vector-width",
                                "requests", "threads", "n", "seed", "policy",
-                               "device"});
+                               "device", "update-every"});
   JIGSAW_CHECK_MSG(args.positional().size() <= 2,
                    "serve takes at most one input file\n" << kUsage);
   const std::size_t requests = args.value_size("requests", 16);
   const int threads = static_cast<int>(args.value_size("threads", 4));
   const std::size_t n = args.value_size("n", 32);
   const std::uint64_t seed = args.value_size("seed", 1);
+  const std::size_t update_every = args.value_size("update-every", 0);
 
   DenseMatrix<fp16_t> a(1, 1);
   if (args.positional().size() == 2) {
@@ -525,6 +531,7 @@ int cmd_serve(const Args& args, std::ostream& out) {
   Engine engine(config);
   EngineOptions options;
   options.policy = parse_policy(args.value("policy", "auto"));
+  options.compile.updatable = update_every > 0;
 
   auto compiled = engine.compile(a, options);
   if (!compiled.ok()) {
@@ -553,14 +560,53 @@ int cmd_serve(const Args& args, std::ostream& out) {
                                              : "MISS — cache broken")
       << "\n";
 
+  // --update-every deltas rewrite existing nonzero values, preserving the
+  // sparsity structure (and therefore §4.3 reorder feasibility) while the
+  // served content drifts; `a_now` mirrors the lineage head so the final
+  // verification has its ground truth.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> nonzeros;
+  if (update_every > 0) {
+    for (std::uint32_t r = 0; r < a.rows(); ++r) {
+      for (std::uint32_t c = 0; c < a.cols(); ++c) {
+        if (!a(r, c).is_zero()) nonzeros.emplace_back(r, c);
+      }
+    }
+  }
+  DenseMatrix<fp16_t> a_now = a;
+  auto current = handle;
+  std::size_t updates_applied = 0;
+  Rng delta_rng(mix_seed(seed, 0xde17a));
+
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::future<Result<DenseMatrix<float>>>> futures;
   futures.reserve(requests);
-  for (std::size_t i = 0; i < requests; ++i) {
-    futures.push_back(
-        engine.submit(handle, random_rhs(a.cols(), n, mix_seed(seed, i))));
-  }
   std::size_t failed = 0;
+  for (std::size_t i = 0; i < requests; ++i) {
+    if (update_every > 0 && i > 0 && i % update_every == 0 &&
+        !nonzeros.empty()) {
+      constexpr std::size_t kDeltaEntries = 8;
+      SparseDelta delta;
+      for (std::size_t e = 0; e < kDeltaEntries; ++e) {
+        const auto& [r, c] = nonzeros[delta_rng.next_below(nonzeros.size())];
+        delta.set(r, c, delta_rng.uniform(0.25f, 1.0f));
+      }
+      auto updated = engine.update(current, delta);
+      if (updated.ok()) {
+        // Mirror only once the generation is published — a failed update
+        // leaves the old generation serving and a_now must keep matching.
+        for (const auto& e : delta.entries) a_now(e.row, e.col) = e.value;
+        current = updated.value();
+        ++updates_applied;
+      } else {
+        ++failed;
+        out << "update failed: " << updated.status().to_string() << "\n";
+      }
+    }
+    // Submit through latest(): the request binds to whatever generation
+    // is published at this instant and in-flight work is never torn.
+    futures.push_back(engine.submit(Engine::latest(current),
+                                    random_rhs(a.cols(), n, mix_seed(seed, i))));
+  }
   for (auto& f : futures) {
     auto result = f.get();
     if (!result.ok()) {
@@ -575,13 +621,26 @@ int cmd_serve(const Args& args, std::ostream& out) {
       << " requests (n=" << n << ") on " << engine.worker_count()
       << " workers in " << wall * 1e3 << " ms ("
       << static_cast<double>(requests - failed) / wall << " req/s)\n";
+  if (update_every > 0) {
+    // jigsaw-lint: allow(obs-name): named after the serving API surface
+    // (engine.update), not an obs subsystem.
+    const double incremental = obs::counter("jigsaw.engine.update.incremental").value();
+    // jigsaw-lint: allow(obs-name): named after the serving API surface
+    // (engine.update), not an obs subsystem.
+    const double full = obs::counter("jigsaw.engine.update.full_recompiles").value();
+    out << "updates:          " << updates_applied << " applied, generation "
+        << Engine::latest(current)->generation << ", " << incremental
+        << " incremental, " << full << " full recompiles\n";
+  }
 
-  // Spot-check one request against the dense reference.
+  // Spot-check one request against the dense reference — through
+  // latest(), against the mutated operand, so a drifted lineage head or a
+  // stale mirror fails loudly.
   {
     const auto b = random_rhs(a.cols(), n, mix_seed(seed, 0));
-    auto result = engine.submit(handle, b).get();
+    auto result = engine.submit(Engine::latest(current), b).get();
     if (!result.ok() ||
-        !allclose(result.value(), reference_gemm(a, b), a.cols())) {
+        !allclose(result.value(), reference_gemm(a_now, b), a.cols())) {
       out << "verification:     FAILED\n";
       return 1;
     }

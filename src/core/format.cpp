@@ -51,6 +51,108 @@ std::size_t JigsawFormat::pair_metadata_index(std::uint32_t panel,
                     kMetaWordsPerPair;
 }
 
+void JigsawFormat::append_panel(const DenseMatrix<fp16_t>& a,
+                                const PanelReorder& panel, std::size_t p) {
+  const int slices = row_slices_per_panel();
+  const std::size_t bt = static_cast<std::size_t>(tile_.block_tile_m);
+
+  PanelHeader header;
+  header.col_idx_offset = static_cast<std::uint32_t>(col_idx_.size());
+  header.col_count = static_cast<std::uint32_t>(panel.col_idx.size());
+  header.tile_offset = static_cast<std::uint32_t>(tiles_.size());
+  header.tile_count = static_cast<std::uint32_t>(panel.tiles.size());
+  col_idx_.insert(col_idx_.end(), panel.col_idx.begin(), panel.col_idx.end());
+  for (const ColumnTileReorder& t : panel.tiles) {
+    tiles_.push_back(TileHeader{t.col_begin, t.col_count});
+  }
+  panels_.push_back(header);
+
+  // block_col_idx_array: slice-major, tile-minor, 16 entries each. The
+  // paper stores these as 4-byte integers (§4.6); we match.
+  for (int s = 0; s < slices; ++s) {
+    for (const ColumnTileReorder& t : panel.tiles) {
+      const MmaTilePermutation& perm =
+          t.row_slices[static_cast<std::size_t>(s)];
+      for (int j = 0; j < kMmaTile; ++j) {
+        block_col_idx_.push_back(perm.perm[static_cast<std::size_t>(j)]);
+      }
+    }
+  }
+
+  // Compressed values + metadata per (slice, mma pair).
+  const std::size_t meta_base = metadata_.size();
+  const std::uint32_t pairs = header.mma_pairs();
+  for (int s = 0; s < slices; ++s) {
+    const std::size_t slice_row =
+        p * bt + static_cast<std::size_t>(s) * kMmaTile;
+    for (std::uint32_t pair = 0; pair < pairs; ++pair) {
+      // Materialize the 16x32 logical tile in post-reorder column order.
+      DenseMatrix<fp16_t> logical(sptc::kTileRows, sptc::kTileLogicalCols);
+      for (int l = 0; l < sptc::kTileLogicalCols; ++l) {
+        const std::uint32_t tile_in_panel =
+            2 * pair + static_cast<std::uint32_t>(l / kMmaTile);
+        if (tile_in_panel >= header.tile_count) continue;  // zero pad
+        const ColumnTileReorder& t =
+            panel.tiles[static_cast<std::size_t>(tile_in_panel)];
+        const std::uint32_t pos =
+            t.row_slices[static_cast<std::size_t>(s)]
+                .perm[static_cast<std::size_t>(l % kMmaTile)];
+        if (pos >= t.col_count) continue;  // virtual padding column
+        const std::uint32_t column = panel.col_idx[t.col_begin + pos];
+        for (int r = 0; r < sptc::kTileRows; ++r) {
+          const std::size_t row = slice_row + static_cast<std::size_t>(r);
+          if (row >= a.rows()) break;
+          logical(static_cast<std::size_t>(r), static_cast<std::size_t>(l)) =
+              a(row, column);
+        }
+      }
+      sptc::CompressedTile compressed;
+      const bool ok = sptc::compress_tile(logical.view(), compressed);
+      JIGSAW_CHECK_MSG(ok,
+                       "reordered tile violates 2:4 — reorder bug (panel "
+                           << p << ", slice " << s << ", pair " << pair
+                           << ", planner failure=" << to_string(panel.failure)
+                           << (panel.rescued ? ", rescued" : "") << ")");
+      // Z-shaped swizzle: the two 16x8 halves of the compressed tile are
+      // stored contiguously, row-major within each half.
+      for (int blk = 0; blk < 2; ++blk) {
+        for (int r = 0; r < sptc::kTileRows; ++r) {
+          for (int c = 0; c < 8; ++c) {
+            values_.push_back(compressed.values[static_cast<std::size_t>(
+                r * sptc::kTileCompressedCols + blk * 8 + c)]);
+          }
+        }
+      }
+      for (int r = 0; r < sptc::kTileRows; ++r) {
+        metadata_.push_back(compressed.metadata[static_cast<std::size_t>(r)]);
+      }
+    }
+  }
+
+  // Re-arrange this panel's metadata into the interleaved two-mma layout
+  // (§3.4.3): each aligned group of two pairs becomes 32 lane-indexed
+  // words. An orphan final pair keeps the naive layout. The pass is local
+  // to (panel, slice, pair group), so doing it per appended panel is
+  // bit-identical to a whole-format pass.
+  if (layout_ == MetadataLayout::kInterleaved) {
+    for (int s = 0; s < slices; ++s) {
+      for (std::uint32_t g = 0; g + 1 < pairs; g += 2) {
+        const std::size_t i0 =
+            meta_base + (static_cast<std::size_t>(s) * pairs + g) *
+                            kMetaWordsPerPair;
+        std::array<std::uint32_t, 16> m0{}, m1{};
+        std::copy_n(metadata_.begin() + static_cast<std::ptrdiff_t>(i0), 16,
+                    m0.begin());
+        std::copy_n(metadata_.begin() + static_cast<std::ptrdiff_t>(i0 + 16),
+                    16, m1.begin());
+        const auto interleaved = sptc::interleave_metadata(m0, m1);
+        std::copy(interleaved.begin(), interleaved.end(),
+                  metadata_.begin() + static_cast<std::ptrdiff_t>(i0));
+      }
+    }
+  }
+}
+
 JigsawFormat JigsawFormat::build(const DenseMatrix<fp16_t>& a,
                                  const ReorderResult& reorder,
                                  MetadataLayout layout) {
@@ -64,109 +166,8 @@ JigsawFormat JigsawFormat::build(const DenseMatrix<fp16_t>& a,
   f.tile_ = reorder.tile;
   f.layout_ = layout;
 
-  const int slices = f.row_slices_per_panel();
-  const std::size_t bt = static_cast<std::size_t>(f.tile_.block_tile_m);
-
   for (std::size_t p = 0; p < reorder.panels.size(); ++p) {
-    const PanelReorder& panel = reorder.panels[p];
-    PanelHeader header;
-    header.col_idx_offset = static_cast<std::uint32_t>(f.col_idx_.size());
-    header.col_count = static_cast<std::uint32_t>(panel.col_idx.size());
-    header.tile_offset = static_cast<std::uint32_t>(f.tiles_.size());
-    header.tile_count = static_cast<std::uint32_t>(panel.tiles.size());
-    f.col_idx_.insert(f.col_idx_.end(), panel.col_idx.begin(),
-                      panel.col_idx.end());
-    for (const ColumnTileReorder& t : panel.tiles) {
-      f.tiles_.push_back(TileHeader{t.col_begin, t.col_count});
-    }
-    f.panels_.push_back(header);
-
-    // block_col_idx_array: slice-major, tile-minor, 16 entries each. The
-    // paper stores these as 4-byte integers (§4.6); we match.
-    for (int s = 0; s < slices; ++s) {
-      for (const ColumnTileReorder& t : panel.tiles) {
-        const MmaTilePermutation& perm =
-            t.row_slices[static_cast<std::size_t>(s)];
-        for (int j = 0; j < kMmaTile; ++j) {
-          f.block_col_idx_.push_back(perm.perm[static_cast<std::size_t>(j)]);
-        }
-      }
-    }
-
-    // Compressed values + metadata per (slice, mma pair).
-    const std::uint32_t pairs = header.mma_pairs();
-    for (int s = 0; s < slices; ++s) {
-      const std::size_t slice_row = p * bt + static_cast<std::size_t>(s) *
-                                                 kMmaTile;
-      for (std::uint32_t pair = 0; pair < pairs; ++pair) {
-        // Materialize the 16x32 logical tile in post-reorder column order.
-        DenseMatrix<fp16_t> logical(sptc::kTileRows, sptc::kTileLogicalCols);
-        for (int l = 0; l < sptc::kTileLogicalCols; ++l) {
-          const std::uint32_t tile_in_panel =
-              2 * pair + static_cast<std::uint32_t>(l / kMmaTile);
-          if (tile_in_panel >= header.tile_count) continue;  // zero pad
-          const ColumnTileReorder& t =
-              panel.tiles[static_cast<std::size_t>(tile_in_panel)];
-          const std::uint32_t pos =
-              t.row_slices[static_cast<std::size_t>(s)]
-                  .perm[static_cast<std::size_t>(l % kMmaTile)];
-          if (pos >= t.col_count) continue;  // virtual padding column
-          const std::uint32_t column = panel.col_idx[t.col_begin + pos];
-          for (int r = 0; r < sptc::kTileRows; ++r) {
-            const std::size_t row = slice_row + static_cast<std::size_t>(r);
-            if (row >= a.rows()) break;
-            logical(static_cast<std::size_t>(r), static_cast<std::size_t>(l)) =
-                a(row, column);
-          }
-        }
-        sptc::CompressedTile compressed;
-        const bool ok = sptc::compress_tile(logical.view(), compressed);
-        JIGSAW_CHECK_MSG(ok,
-                         "reordered tile violates 2:4 — reorder bug (panel "
-                             << p << ", slice " << s << ", pair " << pair
-                             << ", planner failure="
-                             << to_string(panel.failure)
-                             << (panel.rescued ? ", rescued" : "") << ")");
-        // Z-shaped swizzle: the two 16x8 halves of the compressed tile are
-        // stored contiguously, row-major within each half.
-        for (int blk = 0; blk < 2; ++blk) {
-          for (int r = 0; r < sptc::kTileRows; ++r) {
-            for (int c = 0; c < 8; ++c) {
-              f.values_.push_back(
-                  compressed.values[static_cast<std::size_t>(
-                      r * sptc::kTileCompressedCols + blk * 8 + c)]);
-            }
-          }
-        }
-        for (int r = 0; r < sptc::kTileRows; ++r) {
-          f.metadata_.push_back(compressed.metadata[static_cast<std::size_t>(r)]);
-        }
-      }
-    }
-  }
-
-  // Re-arrange metadata into the interleaved two-mma layout (§3.4.3):
-  // each aligned group of two pairs becomes 32 lane-indexed words. An
-  // orphan final pair keeps the naive layout.
-  if (layout == MetadataLayout::kInterleaved) {
-    for (std::uint32_t p = 0; p < f.panels_.size(); ++p) {
-      const std::uint32_t pairs = f.panels_[p].mma_pairs();
-      for (int s = 0; s < slices; ++s) {
-        for (std::uint32_t g = 0; g + 1 < pairs; g += 2) {
-          const std::size_t i0 =
-              f.pair_metadata_index(p, static_cast<std::uint32_t>(s), g);
-          std::array<std::uint32_t, 16> m0{}, m1{};
-          std::copy_n(f.metadata_.begin() + static_cast<std::ptrdiff_t>(i0),
-                      16, m0.begin());
-          std::copy_n(
-              f.metadata_.begin() + static_cast<std::ptrdiff_t>(i0 + 16), 16,
-              m1.begin());
-          const auto interleaved = sptc::interleave_metadata(m0, m1);
-          std::copy(interleaved.begin(), interleaved.end(),
-                    f.metadata_.begin() + static_cast<std::ptrdiff_t>(i0));
-        }
-      }
-    }
+    f.append_panel(a, reorder.panels[p], p);
   }
 
   if (obs::metrics_enabled()) {
@@ -178,6 +179,96 @@ JigsawFormat JigsawFormat::build(const DenseMatrix<fp16_t>& a,
     obs::add("format.index_bytes",
              static_cast<double>(fp.col_idx + fp.block_col_idx + fp.headers));
     obs::observe("format.build_seconds",
+                 std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - t_start)
+                     .count());
+  }
+  return f;
+}
+
+JigsawFormat JigsawFormat::rebuild_panels(
+    const DenseMatrix<fp16_t>& a, const ReorderResult& reorder,
+    std::span<const std::size_t> dirty) const {
+  JIGSAW_TRACE_SCOPE("format", "format.rebuild_panels");
+  const auto t_start = std::chrono::steady_clock::now();
+  JIGSAW_CHECK_MSG(a.rows() == rows_ && a.cols() == cols_,
+                   "mutated matrix does not match the format shape");
+  JIGSAW_CHECK_MSG(a.rows() == reorder.rows && a.cols() == reorder.cols,
+                   "reorder result does not match the matrix shape");
+  JIGSAW_CHECK_MSG(reorder.tile.block_tile_m == tile_.block_tile_m,
+                   "reorder BLOCK_TILE differs from the format being spliced");
+  JIGSAW_CHECK_MSG(reorder.panels.size() == panels_.size(),
+                   "reorder panel count differs from the format being spliced");
+
+  std::vector<bool> is_dirty(panels_.size(), false);
+  for (const std::size_t p : dirty) {
+    JIGSAW_CHECK_MSG(p < panels_.size(), "dirty panel index out of range");
+    is_dirty[p] = true;
+  }
+
+  JigsawFormat f;
+  f.rows_ = rows_;
+  f.cols_ = cols_;
+  f.tile_ = tile_;
+  f.layout_ = layout_;
+
+  // Running cursors into this (old) format's flat arrays: clean panels'
+  // segments are copied verbatim, dirty panels' old segments are skipped
+  // and rebuilt from the mutated matrix. Segment sizes derive from the old
+  // headers, so the walk is exact even when a dirty panel's tile count
+  // changed.
+  const auto slices = static_cast<std::size_t>(row_slices_per_panel());
+  std::size_t old_col = 0;
+  std::size_t old_tile = 0;
+  std::size_t old_bci = 0;
+  std::size_t old_val = 0;
+  std::size_t old_meta = 0;
+  for (std::size_t p = 0; p < panels_.size(); ++p) {
+    const PanelHeader& oh = panels_[p];
+    const std::size_t n_col = oh.col_count;
+    const std::size_t n_tile = oh.tile_count;
+    const std::size_t n_bci =
+        static_cast<std::size_t>(oh.tile_count) * slices * kPermEntries;
+    const std::size_t n_val =
+        static_cast<std::size_t>(oh.mma_pairs()) * slices * kValuesPerPair;
+    const std::size_t n_meta =
+        static_cast<std::size_t>(oh.mma_pairs()) * slices * kMetaWordsPerPair;
+
+    if (is_dirty[p]) {
+      f.append_panel(a, reorder.panels[p], p);
+    } else {
+      PanelHeader nh;
+      nh.col_idx_offset = static_cast<std::uint32_t>(f.col_idx_.size());
+      nh.col_count = oh.col_count;
+      nh.tile_offset = static_cast<std::uint32_t>(f.tiles_.size());
+      nh.tile_count = oh.tile_count;
+      f.panels_.push_back(nh);
+      const auto off = [](std::size_t v) {
+        return static_cast<std::ptrdiff_t>(v);
+      };
+      f.col_idx_.insert(f.col_idx_.end(), col_idx_.begin() + off(old_col),
+                        col_idx_.begin() + off(old_col + n_col));
+      f.tiles_.insert(f.tiles_.end(), tiles_.begin() + off(old_tile),
+                      tiles_.begin() + off(old_tile + n_tile));
+      f.block_col_idx_.insert(f.block_col_idx_.end(),
+                              block_col_idx_.begin() + off(old_bci),
+                              block_col_idx_.begin() + off(old_bci + n_bci));
+      f.values_.insert(f.values_.end(), values_.begin() + off(old_val),
+                       values_.begin() + off(old_val + n_val));
+      f.metadata_.insert(f.metadata_.end(), metadata_.begin() + off(old_meta),
+                         metadata_.begin() + off(old_meta + n_meta));
+    }
+
+    old_col += n_col;
+    old_tile += n_tile;
+    old_bci += n_bci;
+    old_val += n_val;
+    old_meta += n_meta;
+  }
+
+  if (obs::metrics_enabled()) {
+    obs::add("format.panel_rebuilds", static_cast<double>(dirty.size()));
+    obs::observe("format.rebuild_seconds",
                  std::chrono::duration<double>(
                      std::chrono::steady_clock::now() - t_start)
                      .count());

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <vector>
 
 #include "common/status.hpp"
@@ -63,6 +64,16 @@ class JigsawFormat {
   static JigsawFormat build(const DenseMatrix<fp16_t>& a,
                             const ReorderResult& reorder,
                             MetadataLayout layout = MetadataLayout::kInterleaved);
+
+  /// Splices a successor format out of this one: panels listed in `dirty`
+  /// are rebuilt from `a` + `reorder` (both describing the mutated
+  /// matrix), every other panel's array segments are copied verbatim.
+  /// Provided the clean panels' rows and plan are unchanged, the result is
+  /// bit-identical to build(a, reorder, metadata_layout()) at a fraction
+  /// of the cost — the panel-scoped path behind Engine::update.
+  [[nodiscard]] JigsawFormat rebuild_panels(
+      const DenseMatrix<fp16_t>& a, const ReorderResult& reorder,
+      std::span<const std::size_t> dirty) const;
 
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
@@ -179,6 +190,12 @@ class JigsawFormat {
                                 std::uint32_t pair) const;
   std::size_t pair_metadata_index(std::uint32_t panel, std::uint32_t slice,
                                   std::uint32_t pair) const;
+
+  /// Appends one panel's header, indices, compressed values, and metadata
+  /// (interleaving the metadata in place under kInterleaved). Shared by
+  /// build() and rebuild_panels(); panels must be appended in order.
+  void append_panel(const DenseMatrix<fp16_t>& a, const PanelReorder& panel,
+                    std::size_t p);
 };
 
 }  // namespace jigsaw::core

@@ -114,6 +114,12 @@ struct EngineOptions {
     /// Hybrid/checked routing: columns with at most this many panel
     /// nonzeros fall back to the CUDA cores.
     std::uint32_t cuda_route_max_nnz = 2;
+    /// Opt into Engine::update streaming weight deltas into this
+    /// artifact: the source operand stays resident inside the
+    /// CompiledMatrix (one extra fp16 copy charged to the cache) and the
+    /// artifact carries the RCU lineage cell successor generations are
+    /// published through.
+    bool updatable = false;
   };
 
   /// Run-time section: varies per execution, never invalidates a cached

@@ -369,6 +369,94 @@ std::array<std::uint16_t, kMmaTile> slice_column_masks(
   return masks;
 }
 
+namespace {
+
+// Plans panel `p` exactly as one iteration of the full multi-granularity
+// pass: mask extraction from the CSR pattern, the ascending live-column
+// plan, and the shuffled rescue re-plans. Every RNG seed derives from
+// (options.seed, p) — the true panel index, never a loop counter — so a
+// single panel can be re-planned in isolation bit-identically to the
+// corresponding panel of a from-scratch plan. The incremental update path
+// (reorder_panels) depends on exactly that property.
+PanelReorder plan_panel_at(const CsrMatrix& csr, std::size_t rows,
+                           std::size_t total_cols,
+                           const ReorderOptions& options, std::size_t p,
+                           int row_slices, std::uint32_t limit,
+                           TileSearchCache* cache, PlanStats& local) {
+  JIGSAW_TRACE_SCOPE("reorder", "reorder.panel");
+  const std::size_t bt = static_cast<std::size_t>(options.tile.block_tile_m);
+  const std::size_t row_begin = p * bt;
+  const std::size_t row_end = std::min(row_begin + bt, rows);
+
+  const auto t_masks = Clock::now();
+  PanelMasks pm;
+  build_panel_masks(csr, row_begin, row_end, row_slices, pm);
+  std::vector<std::uint32_t> live;
+  live.reserve(csr.cols());
+  for (std::uint32_t c = 0; c < csr.cols(); ++c) {
+    if (options.column_filter && !options.column_filter(p, c)) {
+      continue;  // routed to another compute unit (hybrid extension)
+    }
+    bool any = false;
+    for (int s = 0; s < row_slices; ++s) any |= pm.mask(c, s) != 0;
+    if (any) live.push_back(c);
+  }
+  local.mask_words_built += live.size() * static_cast<std::size_t>(row_slices);
+  local.mask_seconds += seconds_since(t_masks);
+
+  const auto t_search = Clock::now();
+  PanelReorder panel =
+      plan_panel(pm, total_cols, live, row_slices, options,
+                 Rng(mix_seed(options.seed, p)), local, cache);
+
+  if (panel.padded_cols() > limit && options.rescue_attempts > 0 &&
+      !live.empty()) {
+    // The ascending-order plan grew past K. Re-plan from shuffled
+    // live orders: different window compositions routinely sidestep
+    // retry dead-ends (dense columns spread instead of clustering).
+    // Panels that planned fine never reach this, so default plans
+    // stay bit-identical to the pre-rescue planner.
+    bool adopted = false;
+    PanelReorder within_limit;
+    bool have_within = false;
+    for (int attempt = 1; attempt <= options.rescue_attempts; ++attempt) {
+      std::vector<std::uint32_t> order = live;
+      Rng shuffle_rng(mix_seed(options.seed, p, 0xE5C0Eull,
+                               static_cast<std::uint64_t>(attempt)));
+      shuffle_rng.shuffle(order);
+      PanelReorder cand =
+          plan_panel(pm, total_cols, std::move(order), row_slices, options,
+                     Rng(mix_seed(options.seed, p, 0x5E5Cull,
+                                  static_cast<std::uint64_t>(attempt))),
+                     local, cache);
+      ++local.rescue_attempts_run;
+      if (cand.padded_cols() > limit) continue;
+      if (!cand.used_split_fallback) {
+        panel = std::move(cand);
+        adopted = true;
+        break;
+      }
+      if (!have_within) {
+        within_limit = std::move(cand);
+        have_within = true;
+      }
+    }
+    if (!adopted && have_within) {
+      panel = std::move(within_limit);
+      adopted = true;
+    }
+    if (adopted) {
+      panel.rescued = true;
+      ++local.rescued_panels;
+    }
+  }
+  local.search_seconds += seconds_since(t_search);
+  ++local.panels_planned;
+  return panel;
+}
+
+}  // namespace
+
 ReorderResult multi_granularity_reorder(const DenseMatrix<fp16_t>& a,
                                         const ReorderOptions& options) {
   JIGSAW_TRACE_SCOPE("reorder", "reorder.plan");
@@ -401,80 +489,10 @@ ReorderResult multi_granularity_reorder(const DenseMatrix<fp16_t>& a,
   parallel_for(
       static_cast<std::int64_t>(num_panels),
       [&](std::int64_t pi) {
-        JIGSAW_TRACE_SCOPE("reorder", "reorder.panel");
         const std::size_t p = static_cast<std::size_t>(pi);
-        const std::size_t row_begin = p * bt;
-        const std::size_t row_end = std::min(row_begin + bt, a.rows());
         PlanStats local;
-
-        const auto t_masks = Clock::now();
-        PanelMasks pm;
-        build_panel_masks(csr, row_begin, row_end, row_slices, pm);
-        std::vector<std::uint32_t> live;
-        live.reserve(csr.cols());
-        for (std::uint32_t c = 0; c < csr.cols(); ++c) {
-          if (options.column_filter && !options.column_filter(p, c)) {
-            continue;  // routed to another compute unit (hybrid extension)
-          }
-          bool any = false;
-          for (int s = 0; s < row_slices; ++s) any |= pm.mask(c, s) != 0;
-          if (any) live.push_back(c);
-        }
-        local.mask_words_built +=
-            live.size() * static_cast<std::size_t>(row_slices);
-        local.mask_seconds += seconds_since(t_masks);
-
-        const auto t_search = Clock::now();
-        PanelReorder panel =
-            plan_panel(pm, a.cols(), live, row_slices, options,
-                       Rng(mix_seed(options.seed, p)), local, cache);
-
-        if (panel.padded_cols() > limit && options.rescue_attempts > 0 &&
-            !live.empty()) {
-          // The ascending-order plan grew past K. Re-plan from shuffled
-          // live orders: different window compositions routinely sidestep
-          // retry dead-ends (dense columns spread instead of clustering).
-          // Panels that planned fine never reach this, so default plans
-          // stay bit-identical to the pre-rescue planner.
-          bool adopted = false;
-          PanelReorder within_limit;
-          bool have_within = false;
-          for (int attempt = 1; attempt <= options.rescue_attempts;
-               ++attempt) {
-            std::vector<std::uint32_t> order = live;
-            Rng shuffle_rng(mix_seed(options.seed, p, 0xE5C0Eull,
-                                     static_cast<std::uint64_t>(attempt)));
-            shuffle_rng.shuffle(order);
-            PanelReorder cand =
-                plan_panel(pm, a.cols(), std::move(order), row_slices, options,
-                           Rng(mix_seed(options.seed, p, 0x5E5Cull,
-                                        static_cast<std::uint64_t>(attempt))),
-                           local, cache);
-            ++local.rescue_attempts_run;
-            if (cand.padded_cols() > limit) continue;
-            if (!cand.used_split_fallback) {
-              panel = std::move(cand);
-              adopted = true;
-              break;
-            }
-            if (!have_within) {
-              within_limit = std::move(cand);
-              have_within = true;
-            }
-          }
-          if (!adopted && have_within) {
-            panel = std::move(within_limit);
-            adopted = true;
-          }
-          if (adopted) {
-            panel.rescued = true;
-            ++local.rescued_panels;
-          }
-        }
-        local.search_seconds += seconds_since(t_search);
-        ++local.panels_planned;
-
-        result.panels[p] = std::move(panel);
+        result.panels[p] = plan_panel_at(csr, a.rows(), a.cols(), options, p,
+                                         row_slices, limit, cache, local);
         std::lock_guard<std::mutex> lock(stats_mu);
         total.merge(local);
       },
@@ -484,6 +502,59 @@ ReorderResult multi_granularity_reorder(const DenseMatrix<fp16_t>& a,
   result.stats.total_seconds = seconds_since(t_start);
   publish_plan_stats(result.stats);
   return result;
+}
+
+void reorder_panels(const DenseMatrix<fp16_t>& a,
+                    const ReorderOptions& options,
+                    std::span<const std::size_t> panels,
+                    ReorderResult& result) {
+  JIGSAW_TRACE_SCOPE("reorder", "reorder.panel_replan");
+  const auto t_start = Clock::now();
+  options.tile.validate();
+  JIGSAW_CHECK_MSG(a.rows() > 0 && a.cols() > 0, "empty matrix");
+  JIGSAW_CHECK_MSG(result.rows == a.rows() && result.cols == a.cols(),
+                   "replan target plan does not match the matrix shape");
+  JIGSAW_CHECK_MSG(
+      result.tile.block_tile_m == options.tile.block_tile_m,
+      "replan BLOCK_TILE differs from the plan being updated");
+
+  const std::size_t bt = static_cast<std::size_t>(options.tile.block_tile_m);
+  const int row_slices = options.tile.row_tiles_per_panel();
+  const std::size_t num_panels = (a.rows() + bt - 1) / bt;
+  JIGSAW_CHECK_MSG(result.panels.size() == num_panels,
+                   "replan target plan has the wrong panel count");
+  for (const std::size_t p : panels) {
+    JIGSAW_CHECK_MSG(p < num_panels, "dirty panel index out of range");
+  }
+  if (panels.empty()) return;
+
+  const CsrMatrix csr = CsrMatrix::from_dense(a);
+  TileSearchCache* const cache =
+      options.use_memo_cache ? &TileSearchCache::instance() : nullptr;
+  const std::uint32_t limit =
+      static_cast<std::uint32_t>(round_up(a.cols(), kMmaTile));
+
+  std::mutex stats_mu;
+  PlanStats total;
+
+  parallel_for(
+      static_cast<std::int64_t>(panels.size()),
+      [&](std::int64_t i) {
+        const std::size_t p = panels[static_cast<std::size_t>(i)];
+        PlanStats local;
+        result.panels[p] = plan_panel_at(csr, a.rows(), a.cols(), options, p,
+                                         row_slices, limit, cache, local);
+        std::lock_guard<std::mutex> lock(stats_mu);
+        total.merge(local);
+      },
+      options.max_threads);
+
+  total.total_seconds = seconds_since(t_start);
+  result.stats.merge(total);
+  if (obs::metrics_enabled()) {
+    obs::add("reorder.panel_replans", static_cast<double>(panels.size()));
+    obs::observe("reorder.replan_seconds", total.total_seconds);
+  }
 }
 
 void PlanStats::merge(const PlanStats& other) {

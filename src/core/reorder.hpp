@@ -27,6 +27,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "common/fp16.hpp"
@@ -175,6 +176,19 @@ struct ReorderResult {
 /// Panels are processed in parallel.
 ReorderResult multi_granularity_reorder(const DenseMatrix<fp16_t>& a,
                                         const ReorderOptions& options = {});
+
+/// Re-plans only `panels` (indices into result.panels) of an existing plan
+/// of a same-shaped matrix whose content has since changed inside those
+/// panels' rows. Per-panel RNG seeds derive from the true panel index, so
+/// the spliced result is bit-identical to a from-scratch
+/// multi_granularity_reorder(a, options) — provided every panel whose rows
+/// changed is listed and `options` matches the original plan's options.
+/// Stats of the re-planned panels are merged into result.stats (timings
+/// accumulate across generations; the fingerprint ignores stats).
+void reorder_panels(const DenseMatrix<fp16_t>& a,
+                    const ReorderOptions& options,
+                    std::span<const std::size_t> panels,
+                    ReorderResult& result);
 
 /// Extracts the nonzero row-mask of each of the 16 columns of a tile for
 /// one 16-row slice. Exposed for tests.

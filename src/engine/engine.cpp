@@ -1,9 +1,11 @@
 #include "engine/engine.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <exception>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/alloc_count.hpp"
 #include "common/error.hpp"
@@ -52,6 +54,57 @@ std::size_t footprint_of(const core::JigsawFormat& f) {
   return f.memory_footprint().total();
 }
 
+/// BLOCK_TILE row panels containing at least one dirty row — the panels
+/// Engine::update re-plans; every other panel's plan and format segments
+/// are reused verbatim.
+std::vector<std::size_t> dirty_panels_of(const std::vector<bool>& row_dirty,
+                                         int block_tile) {
+  const auto bt = static_cast<std::size_t>(block_tile);
+  const std::size_t rows = row_dirty.size();
+  const std::size_t num_panels = (rows + bt - 1) / bt;
+  std::vector<std::size_t> dirty;
+  for (std::size_t p = 0; p < num_panels; ++p) {
+    const std::size_t row_end = std::min((p + 1) * bt, rows);
+    for (std::size_t r = p * bt; r < row_end; ++r) {
+      if (row_dirty[r]) {
+        dirty.push_back(p);
+        break;
+      }
+    }
+  }
+  return dirty;
+}
+
+/// checked_compile's per-panel failure predicate: a panel that needed tail
+/// splitting or grew past the 16-aligned K degrades onto the hybrid pipes
+/// — a shape the panel splice cannot represent, so update falls back to a
+/// full recompile when any panel fails after the delta.
+bool would_degrade(const core::ReorderResult& reorder, std::size_t cols) {
+  const auto limit =
+      static_cast<std::uint32_t>(core::round_up(cols, core::kMmaTile));
+  for (const core::PanelReorder& p : reorder.panels) {
+    if (p.used_split_fallback || p.padded_cols() > limit) return true;
+  }
+  return false;
+}
+
+/// compile_artifact's kRaw candidate selection, shared with the update
+/// path so a spliced plan picks the same BLOCK_TILE its base would.
+std::pair<bool, std::size_t> choose_raw_candidate(const core::JigsawPlan& plan,
+                                                  int preferred_block_tile) {
+  std::size_t chosen = 0;
+  bool any_success = false;
+  for (std::size_t i = 0; i < plan.reorders.size(); ++i) {
+    if (!plan.reorders[i].success()) continue;
+    if (!any_success ||
+        plan.reorders[i].tile.block_tile_m == preferred_block_tile) {
+      chosen = i;
+    }
+    any_success = true;
+  }
+  return {any_success, chosen};
+}
+
 }  // namespace
 
 std::uint64_t matrix_content_hash(const DenseMatrix<fp16_t>& a) {
@@ -79,6 +132,11 @@ std::uint64_t options_content_hash(const EngineOptions& options,
   fnv_mix(h, static_cast<std::uint64_t>(c.metadata_layout));
   fnv_mix_double(h, c.dense_route_min_density);
   fnv_mix(h, c.cuda_route_max_nnz);
+  // updatable changes the artifact (retained operand, lineage cell), so
+  // updatable and non-updatable compiles of one matrix never share an
+  // entry — an update retiring its old generation cannot evict the
+  // read-only artifact other callers keep hitting.
+  fnv_mix(h, static_cast<std::uint64_t>(c.updatable));
   // Every plan-affecting reorder knob. max_threads is deliberately
   // excluded (plans are thread-count invariant) and column_filter is a
   // std::function — requests carrying one are never cached at all.
@@ -118,7 +176,9 @@ Result<std::shared_ptr<const CompiledMatrix>> Engine::compile(
   const bool cacheable = !options.compile.reorder.column_filter;
   if (!cacheable) {
     obs::add("engine.cache.bypass");
-    return compile_artifact(a, options, policy, CacheKey{});
+    auto artifact = compile_artifact(a, options, policy, CacheKey{});
+    if (!artifact.ok()) return artifact.status();
+    return std::shared_ptr<const CompiledMatrix>(artifact.value());
   }
 
   const CacheKey key{matrix_content_hash(a),
@@ -139,7 +199,7 @@ Result<std::shared_ptr<const CompiledMatrix>> Engine::compile(
   return inserted;
 }
 
-Result<std::shared_ptr<const CompiledMatrix>> Engine::compile_artifact(
+Result<std::shared_ptr<CompiledMatrix>> Engine::compile_artifact(
     const DenseMatrix<fp16_t>& a, const EngineOptions& options,
     ExecutionPolicy policy, const CacheKey& key) const {
   const auto t0 = std::chrono::steady_clock::now();
@@ -187,17 +247,8 @@ Result<std::shared_ptr<const CompiledMatrix>> Engine::compile_artifact(
       }
       case ExecutionPolicy::kRaw: {
         cm->plan = core::jigsaw_plan(a, options.compile);
-        std::size_t chosen = 0;
-        bool any_success = false;
-        for (std::size_t i = 0; i < cm->plan.reorders.size(); ++i) {
-          if (!cm->plan.reorders[i].success()) continue;
-          if (!any_success ||
-              cm->plan.reorders[i].tile.block_tile_m ==
-                  options.compile.block_tile) {
-            chosen = i;
-          }
-          any_success = true;
-        }
+        const auto [any_success, chosen] =
+            choose_raw_candidate(cm->plan, options.compile.block_tile);
         if (!any_success) {
           return Status(
               StatusCode::kReorderFailed,
@@ -220,8 +271,27 @@ Result<std::shared_ptr<const CompiledMatrix>> Engine::compile_artifact(
     return Status(StatusCode::kInternal,
                   std::string("compile raised: ") + e.what());
   }
+  Status finalized = finalize_artifact(*cm, a);
+  if (!finalized.ok()) return finalized;
+  if (cm->updatable) {
+    // Fresh lineage cell with this generation-0 artifact as its head. A
+    // racing compile of the same key converges on whichever artifact the
+    // cache published first, lineage and all; the loser's cell is simply
+    // dropped with its artifact.
+    cm->lineage = std::make_shared<Lineage>();
+    cm->lineage->publish(std::weak_ptr<const CompiledMatrix>(cm));
+  }
+  cm->compile_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  obs::observe("engine.compile_seconds", cm->compile_seconds);
+  return cm;
+}
+
+Status Engine::finalize_artifact(CompiledMatrix& cm,
+                                 const DenseMatrix<fp16_t>& a) const {
   for (const core::JigsawFormat* f :
-       {&cm->naive_format, &cm->interleaved_format}) {
+       {&cm.naive_format, &cm.interleaved_format}) {
     Status valid = f->validate();
     if (!valid.ok()) {
       return Status(StatusCode::kInternal,
@@ -229,30 +299,266 @@ Result<std::shared_ptr<const CompiledMatrix>> Engine::compile_artifact(
                         valid.to_string());
     }
   }
+  cm.updatable = cm.options.updatable;
 
   // Resident size charged against the cache bound.
-  std::size_t bytes = footprint_of(cm->naive_format) +
-                      footprint_of(cm->interleaved_format);
-  for (const core::JigsawFormat& f : cm->plan.formats) {
+  std::size_t bytes = footprint_of(cm.naive_format) +
+                      footprint_of(cm.interleaved_format);
+  for (const core::JigsawFormat& f : cm.plan.formats) {
     bytes += footprint_of(f);
   }
-  if (cm->hybrid.has_value()) {
-    bytes += footprint_of(cm->hybrid->format);
-    for (const core::PanelRouting& r : cm->hybrid->routing) {
+  if (cm.hybrid.has_value()) {
+    bytes += footprint_of(cm.hybrid->format);
+    for (const core::PanelRouting& r : cm.hybrid->routing) {
       bytes += (r.dense_columns.size() + r.cuda_columns.size()) *
                sizeof(std::uint32_t);
     }
-    // The hybrid pipes read their columns from the original operand, so
-    // it stays resident with the artifact.
-    cm->lhs = a;
+  }
+  if (cm.hybrid.has_value() || cm.updatable) {
+    // The hybrid pipes read their columns from the original operand, and
+    // Engine::update applies deltas against it — either way the operand
+    // stays resident with the artifact and is charged to the cache.
+    cm.lhs = a;
     bytes += a.rows() * a.cols() * sizeof(fp16_t);
   }
-  cm->footprint_bytes = bytes;
-  cm->compile_seconds =
+  cm.footprint_bytes = bytes;
+  return Status::Ok();
+}
+
+Result<std::shared_ptr<CompiledMatrix>> Engine::update_artifact(
+    const CompiledMatrix& base, const DenseMatrix<fp16_t>& a2,
+    const std::vector<bool>& row_dirty) const {
+  EngineOptions options;
+  options.policy = base.policy;
+  options.compile = base.options;
+  const CacheKey key{matrix_content_hash(a2), base.options_hash};
+
+  // Degraded/hybrid bases route columns off the SpTC path per panel; that
+  // routing is not representable by a panel splice, so their successor is
+  // a full recompile — bit-identical to a fresh compile of the mutated
+  // matrix and published just as atomically.
+  const bool incremental =
+      !base.plan.reorders.empty() &&
+      ((base.policy == ExecutionPolicy::kChecked && !base.degraded) ||
+       (base.policy == ExecutionPolicy::kRaw &&
+        base.plan.reorders.size() == base.plan.formats.size()));
+  if (!incremental) {
+    // jigsaw-lint: allow(obs-name): named after the serving API surface
+    // (engine.update), not an obs subsystem.
+    obs::add("jigsaw.engine.update.full_recompiles");
+    return compile_artifact(a2, options, base.policy, key);
+  }
+
+  auto cm = std::make_shared<CompiledMatrix>();
+  cm->matrix_hash = key.matrix_hash;
+  cm->options_hash = key.options_hash;
+  cm->policy = base.policy;
+  cm->options = base.options;
+  cm->rows = a2.rows();
+  cm->cols = a2.cols();
+
+  const core::ReorderResult* primary = nullptr;
+  std::size_t panels_replanned = 0;
+  try {
+    if (base.policy == ExecutionPolicy::kChecked) {
+      // Replicate checked_compile's reorder options exactly: the recorded
+      // result tile IS the tile checked_options_from built, and per-panel
+      // seeds derive from (seed, panel index), so re-planning only the
+      // dirty panels is bit-identical to a from-scratch checked compile.
+      core::ReorderOptions ropts = base.options.reorder;
+      ropts.tile = base.plan.reorders[0].tile;
+      core::ReorderResult reorder = base.plan.reorders[0];
+      const std::vector<std::size_t> dirty =
+          dirty_panels_of(row_dirty, reorder.tile.block_tile_m);
+      core::reorder_panels(a2, ropts, dirty, reorder);
+      panels_replanned += dirty.size();
+      if (would_degrade(reorder, a2.cols())) {
+        // The delta pushed a panel off the SpTC path; the checked tier
+        // would degrade it onto the hybrid pipes, which the splice cannot
+        // represent — recompile from scratch instead.
+        // jigsaw-lint: allow(obs-name): named after the serving API
+        // surface (engine.update), not an obs subsystem.
+        obs::add("jigsaw.engine.update.full_recompiles");
+        return compile_artifact(a2, options, base.policy, key);
+      }
+      cm->degradation.panels_total = reorder.panels.size();
+      cm->degradation.reorder_evictions = reorder.total_evictions();
+      cm->plan.version = base.options.version;
+      cm->plan.reorders.push_back(std::move(reorder));
+      primary = &cm->plan.reorders.back();
+      cm->naive_format = base.naive_format.rebuild_panels(a2, *primary, dirty);
+      cm->interleaved_format =
+          base.interleaved_format.rebuild_panels(a2, *primary, dirty);
+    } else {
+      // kRaw: splice every BLOCK_TILE candidate (V4 carries three), then
+      // re-run the candidate selection against the updated plans.
+      const core::KernelFeatures feats =
+          core::KernelFeatures::for_version(base.options.version);
+      cm->plan.version = base.options.version;
+      std::vector<std::vector<std::size_t>> dirties;
+      dirties.reserve(base.plan.reorders.size());
+      for (std::size_t i = 0; i < base.plan.reorders.size(); ++i) {
+        core::ReorderOptions ropts = base.options.reorder;
+        ropts.tile = base.plan.reorders[i].tile;
+        ropts.search.bank_conflict_aware = feats.padded_smem;
+        core::ReorderResult reorder = base.plan.reorders[i];
+        std::vector<std::size_t> dirty =
+            dirty_panels_of(row_dirty, reorder.tile.block_tile_m);
+        core::reorder_panels(a2, ropts, dirty, reorder);
+        panels_replanned += dirty.size();
+        cm->plan.formats.push_back(
+            base.plan.formats[i].rebuild_panels(a2, reorder, dirty));
+        cm->plan.reorders.push_back(std::move(reorder));
+        dirties.push_back(std::move(dirty));
+      }
+      const auto [any_success, chosen] =
+          choose_raw_candidate(cm->plan, base.options.block_tile);
+      if (!any_success) {
+        return Status(
+            StatusCode::kReorderFailed,
+            "update: no BLOCK_TILE candidate reordered successfully after "
+            "the delta (§4.3); the previous generation keeps serving — "
+            "compile with ExecutionPolicy::kChecked to degrade instead");
+      }
+      primary = &cm->plan.reorders[chosen];
+      // The naive/interleaved pair describes the chosen candidate's
+      // layout; splice it from the base only when the base chose the same
+      // candidate, otherwise rebuild it outright.
+      const auto [base_any, base_chosen] =
+          choose_raw_candidate(base.plan, base.options.block_tile);
+      if (base_any && base_chosen == chosen) {
+        cm->naive_format =
+            base.naive_format.rebuild_panels(a2, *primary, dirties[chosen]);
+        cm->interleaved_format = base.interleaved_format.rebuild_panels(
+            a2, *primary, dirties[chosen]);
+      } else {
+        cm->naive_format = core::JigsawFormat::build(
+            a2, *primary, core::MetadataLayout::kNaive);
+        cm->interleaved_format = core::JigsawFormat::build(
+            a2, *primary, core::MetadataLayout::kInterleaved);
+      }
+    }
+    JIGSAW_CHECK_MSG(primary != nullptr, "no primary reorder selected");
+    cm->plan_fingerprint = core::plan_fingerprint(*primary);
+  } catch (const std::exception& e) {
+    return Status(StatusCode::kInternal,
+                  std::string("update raised: ") + e.what());
+  }
+  Status finalized = finalize_artifact(*cm, a2);
+  if (!finalized.ok()) return finalized;
+  // jigsaw-lint: allow(obs-name): named after the serving API surface
+  // (engine.update), not an obs subsystem.
+  obs::add("jigsaw.engine.update.incremental");
+  // jigsaw-lint: allow(obs-name): named after the serving API surface
+  // (engine.update), not an obs subsystem.
+  obs::add("jigsaw.engine.update.panels_replanned",
+           static_cast<double>(panels_replanned));
+  return cm;
+}
+
+Result<std::shared_ptr<const CompiledMatrix>> Engine::update(
+    const std::shared_ptr<const CompiledMatrix>& handle,
+    const SparseDelta& delta) {
+  JIGSAW_TRACE_SCOPE("engine", "engine.update");
+  const auto t0 = std::chrono::steady_clock::now();
+  // jigsaw-lint: allow(obs-name): named after the serving API surface
+  // (engine.update), not an obs subsystem.
+  obs::add("jigsaw.engine.update.attempts");
+  if (handle == nullptr) {
+    return Status(StatusCode::kInvalidArgument,
+                  "update with a null CompiledMatrix handle");
+  }
+  if (!handle->updatable || handle->lineage == nullptr) {
+    return Status(StatusCode::kInvalidArgument,
+                  "artifact was not compiled updatable; set "
+                  "EngineOptions::Compile::updatable before compile()");
+  }
+  const std::shared_ptr<Lineage> lineage = handle->lineage;
+  // One writer at a time per lineage; readers never take this lock.
+  std::lock_guard<std::mutex> writer(lineage->writer_mu);
+  std::shared_ptr<const CompiledMatrix> base = lineage->head().lock();
+  if (base == nullptr) base = handle;
+
+  for (const SparseDelta::Entry& e : delta.entries) {
+    if (e.row >= base->rows || e.col >= base->cols) {
+      return Status(StatusCode::kInvalidArgument,
+                    "delta entry (" + std::to_string(e.row) + ", " +
+                        std::to_string(e.col) + ") outside the " +
+                        std::to_string(base->rows) + "x" +
+                        std::to_string(base->cols) + " operand");
+    }
+  }
+
+  DenseMatrix<fp16_t> a2 = base->lhs;
+  std::vector<bool> row_dirty(base->rows, false);
+  bool changed = false;
+  for (const SparseDelta::Entry& e : delta.entries) {
+    if (a2(e.row, e.col).bits() == e.value.bits()) continue;  // no-op entry
+    a2(e.row, e.col) = e.value;
+    row_dirty[e.row] = true;
+    changed = true;
+  }
+  if (!changed) {
+    // jigsaw-lint: allow(obs-name): named after the serving API surface
+    // (engine.update), not an obs subsystem.
+    obs::add("jigsaw.engine.update.noops");
+    return base;
+  }
+
+  auto rebuilt = update_artifact(*base, a2, row_dirty);
+  if (!rebuilt.ok()) {
+    // jigsaw-lint: allow(obs-name): named after the serving API surface
+    // (engine.update), not an obs subsystem.
+    obs::add("jigsaw.engine.update.failures");
+    return rebuilt.status();
+  }
+  std::shared_ptr<CompiledMatrix> cm = rebuilt.value();
+  cm->generation = base->generation + 1;
+  cm->updatable = true;
+  cm->lineage = lineage;
+
+  std::shared_ptr<const CompiledMatrix> published = cm;
+  if (!base->options.reorder.column_filter) {
+    // Insert the new generation's key BEFORE retiring the old one: a
+    // failed insert (kCapacityExhausted) must leave the old generation
+    // both cached and serving. erase() then retires exactly the
+    // superseded key — unrelated entries keep their recency.
+    const CacheKey new_key{cm->matrix_hash, cm->options_hash};
+    auto inserted = cache_.insert(new_key, published, cm->footprint_bytes);
+    if (!inserted.ok()) {
+      // jigsaw-lint: allow(obs-name): named after the serving API surface
+      // (engine.update), not an obs subsystem.
+      obs::add("jigsaw.engine.update.failures");
+      return inserted.status();
+    }
+    published = inserted.value();
+    cache_.erase(CacheKey{base->matrix_hash, base->options_hash});
+    obs::gauge_set("engine.cache.bytes",
+                   static_cast<double>(cache_.stats().bytes));
+  }
+  // The RCU swap: new submits going through latest() see the new
+  // generation from here on; in-flight executions finish on whatever
+  // generation their shared_ptr pins.
+  lineage->publish(std::weak_ptr<const CompiledMatrix>(published));
+
+  const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
-  obs::observe("engine.compile_seconds", cm->compile_seconds);
-  return std::static_pointer_cast<const CompiledMatrix>(cm);
+  // jigsaw-lint: allow(obs-name): named after the serving API surface
+  // (engine.update), not an obs subsystem.
+  obs::observe("jigsaw.engine.update.latency_seconds", seconds);
+  // jigsaw-lint: allow(obs-name): named after the serving API surface
+  // (engine.update), not an obs subsystem.
+  obs::gauge_set("jigsaw.engine.update.generation",
+                 static_cast<double>(cm->generation));
+  return published;
+}
+
+std::shared_ptr<const CompiledMatrix> Engine::latest(
+    const std::shared_ptr<const CompiledMatrix>& handle) {
+  if (handle == nullptr || handle->lineage == nullptr) return handle;
+  std::shared_ptr<const CompiledMatrix> head = handle->lineage->head().lock();
+  return head != nullptr ? head : handle;
 }
 
 Result<DenseMatrix<float>> Engine::execute(

@@ -35,7 +35,10 @@
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "common/parallel.hpp"
 #include "common/status.hpp"
@@ -61,6 +64,27 @@ struct EngineConfig {
   /// Simulated device all executions are costed against.
   gpusim::CostModel cost_model{};
 };
+
+/// One batch of point mutations against the source operand of an
+/// updatable artifact (EngineOptions::Compile::updatable). Changed
+/// values, newly-nonzero entries, and zeroed entries (value 0) all use
+/// the same spelling; entries whose value already matches the operand
+/// bit-for-bit are no-ops.
+struct SparseDelta {
+  struct Entry {
+    std::uint32_t row = 0;
+    std::uint32_t col = 0;
+    fp16_t value{};
+  };
+  std::vector<Entry> entries;
+
+  std::size_t size() const { return entries.size(); }
+  void set(std::uint32_t row, std::uint32_t col, float value) {
+    entries.push_back(Entry{row, col, fp16_t(value)});
+  }
+};
+
+struct Lineage;
 
 /// Immutable product of Engine::compile — everything any execution policy
 /// needs, so one cached artifact serves raw, checked and hybrid requests
@@ -90,18 +114,68 @@ struct CompiledMatrix {
   std::optional<core::HybridPlan> hybrid;
   core::DegradationReport degradation;
   bool degraded = false;
-  /// The operand is retained only when `hybrid` is set (the dense-TC /
-  /// CUDA-core pipes read their columns from the original matrix).
+  /// The operand is retained when `hybrid` is set (the dense-TC /
+  /// CUDA-core pipes read their columns from the original matrix) or the
+  /// artifact is updatable (Engine::update applies deltas to it).
   DenseMatrix<fp16_t> lhs;
 
   double compile_seconds = 0.0;   ///< measured, cache misses only
   std::size_t footprint_bytes = 0;  ///< resident size charged to the cache
+
+  /// Monotonic position within an updatable lineage: 0 for a fresh
+  /// compile, +1 per successful Engine::update that produced this
+  /// artifact. Surfaced through the jigsaw.engine.update.* metrics.
+  std::uint64_t generation = 0;
+  bool updatable = false;  ///< compiled with EngineOptions::Compile::updatable
+  /// Set on updatable artifacts: the shared RCU cell Engine::update
+  /// publishes successor generations through (see Lineage). Every
+  /// generation of one compile holds the same cell.
+  std::shared_ptr<Lineage> lineage;
 
   const core::JigsawFormat& format() const {
     return options.metadata_layout == core::MetadataLayout::kNaive
                ? naive_format
                : interleaved_format;
   }
+};
+
+/// RCU publication cell shared by every generation of one updatable
+/// compile. Readers (Engine::latest on the submit path) copy the head
+/// weak_ptr under head_mu — a critical section of one refcount bump, with
+/// promotion and every artifact access outside the lock; no reader
+/// registration, and the shared_ptr refcount of the artifact a reader is
+/// holding IS the grace period, so a superseded generation is freed
+/// exactly when its last in-flight request finishes. (Not
+/// std::atomic<std::weak_ptr>: libstdc++'s _Sp_atomic is itself a
+/// spinlock, and in GCC 12 its load() unlocks with a relaxed fetch_sub —
+/// no release edge over _M_ptr, which ThreadSanitizer rightly reports. A
+/// named mutex with the same-sized critical section costs the same and
+/// is analyzable.) Engine::update is the only writer and serializes on
+/// writer_mu; it takes head_mu only for the final pointer swap, never
+/// while replanning. The head is weak to break the cycle with
+/// CompiledMatrix::lineage: the plan cache (which Engine::update inserts
+/// every new generation into) is what keeps the newest generation
+/// resident, and latest() falls back to the caller's own handle if the
+/// head has been evicted and dropped everywhere.
+struct Lineage {
+  /// Snapshot of the published head; promote outside the lock.
+  [[nodiscard]] std::weak_ptr<const CompiledMatrix> head() const {
+    std::lock_guard<std::mutex> lock(head_mu);
+    return head_;
+  }
+
+  /// Publishes the next generation (writer side; the linearization point
+  /// of Engine::update).
+  void publish(std::weak_ptr<const CompiledMatrix> next) {
+    std::lock_guard<std::mutex> lock(head_mu);
+    head_ = std::move(next);
+  }
+
+  std::mutex writer_mu;
+
+ private:
+  mutable std::mutex head_mu;
+  std::weak_ptr<const CompiledMatrix> head_;
 };
 
 class Engine {
@@ -143,15 +217,55 @@ class Engine {
   gpusim::KernelReport cost(const CompiledMatrix& handle, std::size_t n,
                             const EngineOptions::Run& run = {}) const;
 
+  /// Applies a SparseDelta to an updatable artifact's source operand,
+  /// re-plans only the BLOCK_TILE row panels the delta touches (the
+  /// incremental panel path: core::reorder_panels +
+  /// JigsawFormat::rebuild_panels), and publishes the result as the next
+  /// generation through the artifact's Lineage: in-flight submits finish
+  /// on the generation they started with, Engine::latest returns the new
+  /// one. The delta is applied against the lineage's current head (not
+  /// necessarily `handle`), so callers may keep updating through a stale
+  /// handle. Degraded/hybrid artifacts and deltas that defeat the
+  /// incremental plan fall back to a full recompile internally — still
+  /// published atomically, still bit-identical to a fresh compile of the
+  /// mutated matrix. Failure atomicity: on any error (kInvalidArgument
+  /// for a non-updatable handle or out-of-range entries, kReorderFailed
+  /// under kRaw, kCapacityExhausted when the new generation cannot fit
+  /// its cache shard, kInternal) the previous generation stays published,
+  /// cached, and serving, bit-identically untouched.
+  [[nodiscard]] Result<std::shared_ptr<const CompiledMatrix>> update(
+      const std::shared_ptr<const CompiledMatrix>& handle,
+      const SparseDelta& delta);
+
+  /// Latest published generation of the handle's lineage — one brief
+  /// head-pointer copy, safe to call per request on the submit hot path.
+  /// Non-updatable handles (and a lineage whose head was evicted and
+  /// dropped everywhere) return the handle itself.
+  [[nodiscard]] static std::shared_ptr<const CompiledMatrix> latest(
+      const std::shared_ptr<const CompiledMatrix>& handle);
+
   CacheStats cache_stats() const { return cache_.stats(); }
   void clear_cache() { cache_.clear(); }
   const EngineConfig& config() const { return config_; }
   int worker_count() const { return pool_.size(); }
 
  private:
-  [[nodiscard]] Result<std::shared_ptr<const CompiledMatrix>> compile_artifact(
+  [[nodiscard]] Result<std::shared_ptr<CompiledMatrix>> compile_artifact(
       const DenseMatrix<fp16_t>& a, const EngineOptions& options,
       ExecutionPolicy policy, const CacheKey& key) const;
+
+  /// Builds the successor artifact for `update`: incremental panel splice
+  /// when the base's plan permits, full recompile fallback otherwise.
+  /// Generation/lineage stamping happens in update().
+  [[nodiscard]] Result<std::shared_ptr<CompiledMatrix>> update_artifact(
+      const CompiledMatrix& base, const DenseMatrix<fp16_t>& a2,
+      const std::vector<bool>& row_dirty) const;
+
+  /// Shared artifact tail: validates both layout formats, computes the
+  /// resident footprint (retaining the operand for hybrid/updatable
+  /// artifacts), and stamps the updatable flag.
+  [[nodiscard]] Status finalize_artifact(CompiledMatrix& cm,
+                                         const DenseMatrix<fp16_t>& a) const;
 
   EngineConfig config_;
   PlanCache cache_;
@@ -176,6 +290,7 @@ using engine::CacheStats;
 using engine::CompiledMatrix;
 using engine::Engine;
 using engine::EngineConfig;
+using engine::SparseDelta;  // NOLINT(misc-unused-using-decls)
 using core::EngineOptions;    // NOLINT(misc-unused-using-decls)
 using core::ExecutionPolicy;  // NOLINT(misc-unused-using-decls)
 }  // namespace jigsaw

@@ -78,6 +78,19 @@ Result<std::shared_ptr<const CompiledMatrix>> PlanCache::insert(
   return shard.lru.front().value;
 }
 
+bool PlanCache::erase(const CacheKey& key) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) return false;
+  shard.bytes -= it->second->bytes;
+  shard.lru.erase(it->second);
+  shard.index.erase(it);
+  retired_.fetch_add(1, std::memory_order_relaxed);
+  obs::add("engine.cache.retired");
+  return true;
+}
+
 void PlanCache::clear() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
@@ -92,6 +105,7 @@ CacheStats PlanCache::stats() const {
   out.hits = hits_.load(std::memory_order_relaxed);
   out.misses = misses_.load(std::memory_order_relaxed);
   out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.retired = retired_.load(std::memory_order_relaxed);
   out.capacity_bytes = shard_capacity_ * shards_.size();
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);

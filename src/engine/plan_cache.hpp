@@ -49,6 +49,9 @@ struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
+  /// Entries retired by erase() — generations superseded by
+  /// Engine::update, as opposed to capacity evictions.
+  std::uint64_t retired = 0;
   std::uint64_t entries = 0;
   std::uint64_t bytes = 0;
   std::uint64_t capacity_bytes = 0;
@@ -77,6 +80,12 @@ class PlanCache {
   [[nodiscard]] Result<std::shared_ptr<const CompiledMatrix>> insert(
       const CacheKey& key, std::shared_ptr<const CompiledMatrix> value,
       std::size_t bytes);
+
+  /// Removes exactly `key`, leaving every other entry's recency and
+  /// residency untouched — how Engine::update retires a superseded
+  /// generation without invalidating unrelated keys. Returns whether the
+  /// key was present; handed-out shared_ptrs stay valid.
+  bool erase(const CacheKey& key);
 
   /// Drops every entry (counters are kept; handed-out shared_ptrs stay
   /// valid — the cache only releases its references).
@@ -110,6 +119,7 @@ class PlanCache {
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> retired_{0};
 };
 
 }  // namespace jigsaw::engine

@@ -137,6 +137,20 @@ TEST_F(CliFiles, BenchPrintsAllKernels) {
   }
 }
 
+TEST(Cli, ServeWithStreamingUpdatesVerifiesMutatedMatrix) {
+  // 12 requests with an update every 4: two deltas stream through
+  // Engine::update mid-serve, and the final verification runs against the
+  // mutated operand — so a stale lineage head or a missed mirror write
+  // both fail the command.
+  const auto r = run_cli({"serve", "--rows", "64", "--cols", "128",
+                          "--requests", "12", "--update-every", "4",
+                          "--threads", "2", "--n", "8", "--seed", "3"});
+  ASSERT_EQ(r.code, 0) << r.out << r.err;
+  EXPECT_NE(r.out.find("updates:"), std::string::npos);
+  EXPECT_NE(r.out.find("generation 2"), std::string::npos);
+  EXPECT_NE(r.out.find("verification:     OK"), std::string::npos);
+}
+
 TEST(Cli, RunMissingFileFails) {
   const auto r = run_cli({"run", "/tmp/jigsaw_no_such.mtx"});
   EXPECT_EQ(r.code, 1);
