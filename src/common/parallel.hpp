@@ -23,6 +23,7 @@
 
 #include "common/arena.hpp"
 #include "common/error.hpp"
+#include "common/thread_annotations.hpp"
 
 #if defined(JIGSAW_HAVE_OPENMP)
 #include <omp.h>
@@ -83,7 +84,7 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       stopping_ = true;
     }
     cv_.notify_all();
@@ -96,8 +97,8 @@ class ThreadPool {
   int size() const { return static_cast<int>(workers_.size()); }
 
   /// Tasks queued but not yet started (diagnostic; racy by nature).
-  std::size_t queued() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::size_t queued() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return queue_.size();
   }
 
@@ -109,7 +110,7 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
     std::future<R> future = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       JIGSAW_CHECK_MSG(!stopping_, "ThreadPool::submit after shutdown began");
       queue_.emplace_back([task] { (*task)(); });
     }
@@ -118,7 +119,7 @@ class ThreadPool {
   }
 
  private:
-  void worker_loop() {
+  void worker_loop() EXCLUDES(mu_) {
     // Each worker owns a scratch arena for its whole lifetime and
     // installs it so every task it runs (engine submits in particular)
     // draws kernel scratch from it: the first request grows it, later
@@ -128,8 +129,12 @@ class ThreadPool {
     for (;;) {
       std::function<void()> task;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        MutexLock lock(mu_);
+        // Explicit wait loop: condition_variable_any unlocks/relocks the
+        // annotated Mutex inside wait(), which the analysis treats as
+        // opaque — the net lock state is unchanged, so the predicate
+        // accesses below are correctly seen as guarded.
+        while (!stopping_ && queue_.empty()) cv_.wait(mu_);
         if (queue_.empty()) return;  // stopping_ and drained
         task = std::move(queue_.front());
         queue_.pop_front();
@@ -139,10 +144,10 @@ class ThreadPool {
   }
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  mutable Mutex mu_;
+  std::condition_variable_any cv_;
+  bool stopping_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace jigsaw

@@ -1,0 +1,83 @@
+// Clang thread-safety annotations and the annotated Mutex they bind to.
+//
+// The annotations make the repo's locking contracts compiler-checked:
+// `GUARDED_BY(mu)` on a member means every access needs `mu` held,
+// `REQUIRES(mu)` on a function makes callers prove they hold it, and a
+// build with `-Wthread-safety -Werror=thread-safety` (the CI `analyze`
+// job, CMake option JIGSAW_THREAD_SAFETY) turns violations into build
+// breaks. Under GCC — which has no thread-safety analysis — every macro
+// expands to nothing and Mutex degrades to a plain std::mutex wrapper,
+// so the annotations cost nothing off Clang.
+//
+// std::mutex itself carries no capability attribute in libstdc++, so the
+// analysis cannot see through it; code that wants checking holds a
+// jigsaw::Mutex and scopes it with jigsaw::MutexLock. Condition waits
+// use std::condition_variable_any directly on the Mutex (it satisfies
+// BasicLockable) with an explicit `while (!pred) cv.wait(mu);` loop —
+// the predicate-lambda overload is opaque to the analysis.
+//
+// tools/jigsaw_analyze reads the same GUARDED_BY tokens from source text
+// (rcu-discipline rule), so the contracts are enforced even on the GCC
+// builds that cannot evaluate the attributes.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#define JIGSAW_TSA_HAVE(x) __has_attribute(x)
+#else
+#define JIGSAW_TSA_HAVE(x) 0
+#endif
+
+#if JIGSAW_TSA_HAVE(guarded_by)
+#define JIGSAW_TSA(x) __attribute__((x))
+#else
+#define JIGSAW_TSA(x)
+#endif
+
+#define CAPABILITY(x) JIGSAW_TSA(capability(x))
+#define SCOPED_CAPABILITY JIGSAW_TSA(scoped_lockable)
+#define GUARDED_BY(x) JIGSAW_TSA(guarded_by(x))
+#define PT_GUARDED_BY(x) JIGSAW_TSA(pt_guarded_by(x))
+#define ACQUIRE(...) JIGSAW_TSA(acquire_capability(__VA_ARGS__))
+#define RELEASE(...) JIGSAW_TSA(release_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) JIGSAW_TSA(try_acquire_capability(__VA_ARGS__))
+#define REQUIRES(...) JIGSAW_TSA(requires_capability(__VA_ARGS__))
+#define EXCLUDES(...) JIGSAW_TSA(locks_excluded(__VA_ARGS__))
+#define RETURN_CAPABILITY(x) JIGSAW_TSA(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS JIGSAW_TSA(no_thread_safety_analysis)
+
+namespace jigsaw {
+
+/// A std::mutex the thread-safety analysis can track. Also satisfies
+/// BasicLockable/Lockable, so std::condition_variable_any waits on it
+/// directly and std::lock_guard<Mutex> still compiles (though MutexLock
+/// is preferred — lock_guard is not a SCOPED_CAPABILITY type).
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock scope over Mutex, visible to the analysis as a scoped
+/// capability: the mutex is held exactly for the lexical lifetime.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace jigsaw

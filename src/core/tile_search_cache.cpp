@@ -1,5 +1,7 @@
 #include "core/tile_search_cache.hpp"
 
+#include "common/thread_annotations.hpp"
+
 #include <algorithm>
 #include <atomic>
 #include <bit>
@@ -187,8 +189,8 @@ constexpr std::size_t kL2Shards = 16;
 using CacheMap = std::unordered_map<CanonKey, CanonQuads, CanonKeyHash>;
 
 struct Shard {
-  mutable std::mutex mu;
-  CacheMap map;
+  mutable Mutex mu;
+  CacheMap map GUARDED_BY(mu);
 };
 
 std::array<Shard, kL2Shards>& shards() {
@@ -244,7 +246,7 @@ TileCacheHit TileSearchCache::lookup(std::span<const std::uint16_t> col_masks,
   }
   Shard& shard = shard_for(canon.key);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     const auto it = shard.map.find(canon.key);
     if (it == shard.map.end()) {
       misses_counter().add();
@@ -272,7 +274,7 @@ void TileSearchCache::publish(std::span<const std::uint16_t> col_masks,
   // never recur cost one insert instead of two.
   std::sort(value.begin(), value.end());
   Shard& shard = shard_for(canon.key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   if (shard.map.find(canon.key) == shard.map.end()) {
     insert_capped(shard.map, kL2ShardCap, canon.key, std::move(value));
     publishes_counter().add();
@@ -281,7 +283,7 @@ void TileSearchCache::publish(std::span<const std::uint16_t> col_masks,
 
 void TileSearchCache::clear() {
   for (Shard& shard : shards()) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.map.clear();
   }
   g_epoch.fetch_add(1, std::memory_order_release);
@@ -290,7 +292,7 @@ void TileSearchCache::clear() {
 std::size_t TileSearchCache::shared_entries() const {
   std::size_t total = 0;
   for (Shard& shard : shards()) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     total += shard.map.size();
   }
   return total;

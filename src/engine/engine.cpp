@@ -475,7 +475,7 @@ Result<std::shared_ptr<const CompiledMatrix>> Engine::update(
   }
   const std::shared_ptr<Lineage> lineage = handle->lineage;
   // One writer at a time per lineage; readers never take this lock.
-  std::lock_guard<std::mutex> writer(lineage->writer_mu);
+  MutexLock writer(lineage->writer_mu);
   std::shared_ptr<const CompiledMatrix> base = lineage->head().lock();
   if (base == nullptr) base = handle;
 

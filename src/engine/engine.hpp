@@ -42,6 +42,7 @@
 
 #include "common/parallel.hpp"
 #include "common/status.hpp"
+#include "common/thread_annotations.hpp"
 #include "core/checked.hpp"
 #include "engine/plan_cache.hpp"
 
@@ -159,23 +160,24 @@ struct CompiledMatrix {
 /// head has been evicted and dropped everywhere.
 struct Lineage {
   /// Snapshot of the published head; promote outside the lock.
-  [[nodiscard]] std::weak_ptr<const CompiledMatrix> head() const {
-    std::lock_guard<std::mutex> lock(head_mu);
+  [[nodiscard]] std::weak_ptr<const CompiledMatrix> head() const
+      EXCLUDES(head_mu) {
+    MutexLock lock(head_mu);
     return head_;
   }
 
   /// Publishes the next generation (writer side; the linearization point
   /// of Engine::update).
-  void publish(std::weak_ptr<const CompiledMatrix> next) {
-    std::lock_guard<std::mutex> lock(head_mu);
+  void publish(std::weak_ptr<const CompiledMatrix> next) EXCLUDES(head_mu) {
+    MutexLock lock(head_mu);
     head_ = std::move(next);
   }
 
-  std::mutex writer_mu;
+  Mutex writer_mu;
 
  private:
-  mutable std::mutex head_mu;
-  std::weak_ptr<const CompiledMatrix> head_;
+  mutable Mutex head_mu;
+  std::weak_ptr<const CompiledMatrix> head_ GUARDED_BY(head_mu);
 };
 
 class Engine {

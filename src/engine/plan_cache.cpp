@@ -36,7 +36,7 @@ PlanCache::Shard& PlanCache::shard_for(const CacheKey& key) {
 
 std::shared_ptr<const CompiledMatrix> PlanCache::find(const CacheKey& key) {
   Shard& shard = shard_for(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -57,7 +57,7 @@ Result<std::shared_ptr<const CompiledMatrix>> PlanCache::insert(
                       std::to_string(shard_capacity_) + " bytes");
   }
   Shard& shard = shard_for(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     // A racing compile published first; converge on its artifact.
@@ -80,7 +80,7 @@ Result<std::shared_ptr<const CompiledMatrix>> PlanCache::insert(
 
 bool PlanCache::erase(const CacheKey& key) {
   Shard& shard = shard_for(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) return false;
   shard.bytes -= it->second->bytes;
@@ -93,7 +93,7 @@ bool PlanCache::erase(const CacheKey& key) {
 
 void PlanCache::clear() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     shard->index.clear();
     shard->lru.clear();
     shard->bytes = 0;
@@ -108,7 +108,7 @@ CacheStats PlanCache::stats() const {
   out.retired = retired_.load(std::memory_order_relaxed);
   out.capacity_bytes = shard_capacity_ * shards_.size();
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     out.entries += shard->lru.size();
     out.bytes += shard->bytes;
   }

@@ -22,11 +22,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace jigsaw::engine {
 
@@ -105,10 +105,11 @@ class PlanCache {
     }
   };
   struct Shard {
-    mutable std::mutex mu;
-    std::list<Entry> lru;  ///< front = most recently used
-    std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> index;
-    std::size_t bytes = 0;
+    mutable Mutex mu;
+    std::list<Entry> lru GUARDED_BY(mu);  ///< front = most recently used
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> index
+        GUARDED_BY(mu);
+    std::size_t bytes GUARDED_BY(mu) = 0;
   };
 
   Shard& shard_for(const CacheKey& key);

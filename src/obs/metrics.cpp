@@ -9,6 +9,7 @@
 #include <ostream>
 
 #include "common/error.hpp"
+#include "common/thread_annotations.hpp"
 #include "obs/trace.hpp"
 
 namespace jigsaw::obs {
@@ -57,13 +58,16 @@ double bucket_midpoint(int idx) {
 enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
 
 struct Registry {
-  std::mutex mu;
+  Mutex mu;
   // map keeps snapshots name-sorted for free; unique_ptr keeps instrument
   // addresses stable across rehash-free inserts.
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
-  std::map<std::string, Kind, std::less<>> kinds;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters
+      GUARDED_BY(mu);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges
+      GUARDED_BY(mu);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms
+      GUARDED_BY(mu);
+  std::map<std::string, Kind, std::less<>> kinds GUARDED_BY(mu);
 };
 
 Registry& registry() {
@@ -156,7 +160,7 @@ void Histogram::reset() {
 
 Counter& counter(std::string_view name) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   check_kind(r, name, Kind::kCounter);
   auto it = r.counters.find(name);
   if (it == r.counters.end()) {
@@ -169,7 +173,7 @@ Counter& counter(std::string_view name) {
 
 Gauge& gauge(std::string_view name) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   check_kind(r, name, Kind::kGauge);
   auto it = r.gauges.find(name);
   if (it == r.gauges.end()) {
@@ -180,7 +184,7 @@ Gauge& gauge(std::string_view name) {
 
 Histogram& histogram(std::string_view name) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   check_kind(r, name, Kind::kHistogram);
   auto it = r.histograms.find(name);
   if (it == r.histograms.end()) {
@@ -208,7 +212,7 @@ void observe(std::string_view histogram_name, double value) {
 
 MetricsSnapshot metrics_snapshot() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   MetricsSnapshot snap;
   snap.counters.reserve(r.counters.size());
   for (const auto& [name, c] : r.counters) {
@@ -236,7 +240,7 @@ MetricsSnapshot metrics_snapshot() {
 
 void reset_metrics() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   for (const auto& [name, c] : r.counters) c->reset();
   for (const auto& [name, g] : r.gauges) g->reset();
   for (const auto& [name, h] : r.histograms) h->reset();

@@ -1,5 +1,7 @@
 #include "obs/trace.hpp"
 
+#include "common/thread_annotations.hpp"
+
 #include <atomic>
 #include <chrono>
 #include <memory>
@@ -26,15 +28,15 @@ Clock::time_point trace_epoch() {
 }
 
 struct ThreadBuffer {
-  std::mutex mu;
-  std::vector<TraceEvent> events;
-  std::uint32_t tid = 0;
+  Mutex mu;
+  std::vector<TraceEvent> events GUARDED_BY(mu);
+  std::uint32_t tid = 0;  ///< written once at registration, then read-only
 };
 
 struct Registry {
-  std::mutex mu;
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
-  std::uint32_t next_tid = 1;
+  Mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers GUARDED_BY(mu);
+  std::uint32_t next_tid GUARDED_BY(mu) = 1;
 };
 
 Registry& registry() {
@@ -50,7 +52,7 @@ ThreadBuffer& thread_buffer() {
   thread_local std::shared_ptr<ThreadBuffer> local = [] {
     auto buffer = std::make_shared<ThreadBuffer>();
     Registry& r = registry();
-    std::lock_guard<std::mutex> lock(r.mu);
+    MutexLock lock(r.mu);
     buffer->tid = r.next_tid++;
     r.buffers.push_back(buffer);
     return buffer;
@@ -95,7 +97,7 @@ std::uint64_t trace_now_ns() {
 void record_span(const char* category, const char* name,
                  std::uint64_t start_ns, std::uint64_t duration_ns) {
   ThreadBuffer& buffer = thread_buffer();
-  std::lock_guard<std::mutex> lock(buffer.mu);
+  MutexLock lock(buffer.mu);
   if (buffer.events.size() >= kMaxEventsPerThread) {
     g_dropped.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -108,12 +110,12 @@ std::vector<TraceEvent> trace_snapshot() {
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
     Registry& r = registry();
-    std::lock_guard<std::mutex> lock(r.mu);
+    MutexLock lock(r.mu);
     buffers = r.buffers;
   }
   std::vector<TraceEvent> out;
   for (const auto& buffer : buffers) {
-    std::lock_guard<std::mutex> lock(buffer->mu);
+    MutexLock lock(buffer->mu);
     out.insert(out.end(), buffer->events.begin(), buffer->events.end());
   }
   return out;
@@ -123,12 +125,12 @@ std::size_t trace_event_count() {
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
     Registry& r = registry();
-    std::lock_guard<std::mutex> lock(r.mu);
+    MutexLock lock(r.mu);
     buffers = r.buffers;
   }
   std::size_t n = 0;
   for (const auto& buffer : buffers) {
-    std::lock_guard<std::mutex> lock(buffer->mu);
+    MutexLock lock(buffer->mu);
     n += buffer->events.size();
   }
   return n;
@@ -142,11 +144,11 @@ void reset_trace() {
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
     Registry& r = registry();
-    std::lock_guard<std::mutex> lock(r.mu);
+    MutexLock lock(r.mu);
     buffers = r.buffers;
   }
   for (const auto& buffer : buffers) {
-    std::lock_guard<std::mutex> lock(buffer->mu);
+    MutexLock lock(buffer->mu);
     buffer->events.clear();
   }
   g_dropped.store(0, std::memory_order_relaxed);

@@ -1,0 +1,39 @@
+// Fixture: arena-derived pointers escaping the scope whose arena owns
+// them — stored to a member, a global, a static, and captured by
+// reference into a deferred task. All four must fire arena-escape.
+namespace fixture {
+
+class Arena {
+ public:
+  void* allocate(unsigned long bytes);
+};
+Arena& thread_scratch_arena();
+struct Pool {
+  template <typename F>
+  void submit(F fn);
+};
+
+struct Holder {
+  void stash(Arena& arena) {
+    stash_ = arena.allocate(64);
+  }
+  void* stash_ = nullptr;
+};
+
+void* g_escape = nullptr;
+
+void to_global(Arena& arena) {
+  g_escape = arena.allocate(32);
+}
+
+void to_static() {
+  static void* cache = thread_scratch_arena().allocate(16);
+  (void)cache;
+}
+
+void deferred_capture(Pool& pool, Arena& arena) {
+  void* scratch = arena.allocate(8);
+  pool.submit([&] { (void)scratch; });
+}
+
+}  // namespace fixture

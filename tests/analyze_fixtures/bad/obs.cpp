@@ -1,0 +1,15 @@
+// Fixture: an instrument name that is not in the canonical registry.
+// tests/test_analyze.cpp pairs this file with a registry that lacks the
+// name (and carries a stale and a duplicated entry of its own), so
+// obs-name-registry fires on both sides of the drift.
+namespace fixture {
+
+namespace obs {
+void add(const char* name, double delta);
+}
+
+void touch() {
+  obs::add("engine.unregistered_total", 1.0);
+}
+
+}  // namespace fixture

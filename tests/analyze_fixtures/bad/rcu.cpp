@@ -1,0 +1,23 @@
+// Fixture: every rcu-discipline violation — a guarded member read with
+// no lock held, an unguarded weak_ptr on a Lineage, and the banned
+// std::atomic<std::weak_ptr> construction.
+namespace fixture {
+
+template <typename T>
+class weak_ptr {};
+template <typename T>
+class atomic {};
+class mutex {};
+
+struct Lineage {
+  weak_ptr<int> head() const {
+    return head_;  // no lock: races the writer's pointer swap
+  }
+  mutable mutex head_mu;
+  weak_ptr<int> head_ GUARDED_BY(head_mu);
+  weak_ptr<int> naked_;  // a lineage head must be mutex-guarded
+};
+
+atomic<weak_ptr<int>> g_head;  // the GCC 12 _Sp_atomic TSan trap
+
+}  // namespace fixture

@@ -1,0 +1,35 @@
+// Fixture: Status/Result values produced and then dropped. Each local
+// satisfies [[nodiscard]] — the call result WAS stored — but nothing
+// ever consults it, which is exactly the gap status-propagation closes.
+namespace fixture {
+
+class Status {
+ public:
+  bool ok() const;
+};
+template <typename T>
+class Result {
+ public:
+  bool ok() const;
+};
+
+Status do_work();
+Result<int> make_value();
+
+int dropped_status() {
+  Status st = do_work();
+  return 0;
+}
+
+int dropped_result() {
+  Result<int> r = make_value();
+  return 1;
+}
+
+int only_reassigned() {
+  Status st = do_work();
+  st = do_work();
+  return 2;
+}
+
+}  // namespace fixture

@@ -1,0 +1,39 @@
+// Fixture: arena pointers used correctly — consumed within the scope,
+// captured by value, or with the pointee's VALUE copied out (the
+// sanctioned fix for wanting data to outlive the arena). arena-escape
+// must stay silent.
+namespace fixture {
+
+class Arena {
+ public:
+  void* allocate(unsigned long bytes);
+};
+Arena& thread_scratch_arena();
+struct Pool {
+  template <typename F>
+  void submit(F fn);
+};
+void consume(void* p);
+
+void local_use(Arena& arena) {
+  void* scratch = arena.allocate(64);
+  consume(scratch);
+}
+
+void value_capture(Pool& pool) {
+  Arena& arena = thread_scratch_arena();
+  void* scratch = arena.allocate(8);
+  pool.submit([scratch] { consume(scratch); });
+}
+
+struct Owner {
+  void copy_out(Arena& arena);
+  int total_ = 0;
+};
+
+void Owner::copy_out(Arena& arena) {
+  int* tmp = static_cast<int*>(arena.allocate(sizeof(int)));
+  total_ = *tmp;  // the value is copied; the pointer dies with the scope
+}
+
+}  // namespace fixture

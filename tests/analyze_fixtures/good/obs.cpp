@@ -1,0 +1,14 @@
+// Fixture: an instrument name the paired registry does contain —
+// obs-name-registry must stay silent (tests/test_analyze.cpp supplies
+// the matching registry content).
+namespace fixture {
+
+namespace obs {
+void add(const char* name, double delta);
+}
+
+void touch() {
+  obs::add("engine.registered_total", 1.0);
+}
+
+}  // namespace fixture

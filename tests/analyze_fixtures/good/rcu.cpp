@@ -1,0 +1,38 @@
+// Fixture: the lineage discipline done right — every touch of the
+// guarded head happens in a Lineage method under head_mu, and a member
+// of the same spelling in another class is a different symbol.
+// rcu-discipline must stay silent.
+namespace fixture {
+
+template <typename T>
+class weak_ptr {};
+class mutex {
+ public:
+  void lock();
+  void unlock();
+};
+template <typename T>
+class lock_guard {
+ public:
+  explicit lock_guard(T& mu);
+};
+
+struct Lineage {
+  weak_ptr<int> head() const {
+    lock_guard<mutex> lock(head_mu);
+    return head_;
+  }
+  void publish(weak_ptr<int> next) {
+    lock_guard<mutex> lock(head_mu);
+    head_ = next;
+  }
+  mutable mutex head_mu;
+  weak_ptr<int> head_ GUARDED_BY(head_mu);
+};
+
+struct Other {
+  int read() const { return head_; }
+  int head_ = 0;  // same spelling, different class: not a guarded member
+};
+
+}  // namespace fixture

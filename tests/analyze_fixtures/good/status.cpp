@@ -1,0 +1,54 @@
+// Fixture: every sanctioned way a Status/Result local flows onward —
+// returned, probed, compared, handed to another function, or explicitly
+// waived with a suppression. status-propagation must stay silent.
+namespace fixture {
+
+class Status {
+ public:
+  bool ok() const;
+  friend bool operator==(const Status& a, const Status& b);
+};
+template <typename T>
+class Result {
+ public:
+  bool ok() const;
+  Status status() const;
+};
+
+Status do_work();
+Result<int> make_value();
+void consume(const Status& s);
+
+Status returned() {
+  Status st = do_work();
+  return st;
+}
+
+int probed() {
+  const Status st = do_work();
+  if (!st.ok()) return 1;
+  return 0;
+}
+
+int compared() {
+  Status a = do_work();
+  Status b = do_work();
+  return a == b ? 1 : 0;
+}
+
+int handed_off() {
+  Status st = do_work();
+  consume(st);
+  Result<int> r = make_value();
+  if (!r.ok()) return 1;
+  return 2;
+}
+
+int waived() {
+  // jigsaw-analyze: allow(status-propagation): fixture pins the shared
+  // suppression mechanism for the semantic rules.
+  Status st = do_work();
+  return 3;
+}
+
+}  // namespace fixture

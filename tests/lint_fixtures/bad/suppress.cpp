@@ -1,0 +1,16 @@
+// Fixture: every way a suppression can be malformed. Before the
+// bad-suppression rule these were silently accepted — the first two
+// silence nothing (unknown rule / empty list) while reading as
+// reviewed-and-waived, the third waives without the mandatory argument.
+namespace fixture {
+
+// jigsaw-lint: allow(warp-speed-alloc): the rule name is misspelled, so
+// this directive silences nothing.
+inline int unknown_rule() { return 1; }
+
+// jigsaw-lint: allow(): no rule at all.
+inline int empty_rules() { return 2; }
+
+inline int missing_reason() { return 3; }  // jigsaw-lint: allow(raw-alloc)
+
+}  // namespace fixture

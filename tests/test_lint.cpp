@@ -173,6 +173,80 @@ TEST(LintRules, HotPathAllocSkipsReferencesAndDeclarations) {
   EXPECT_TRUE(lint::run_rules({f}, {"hot-path-alloc"}).empty());
 }
 
+TEST(LintRules, HotPathTagOnlyCountsAsAComment) {
+  // The literal tag inside a string (or quoted in prose mid-comment) must
+  // not mark the file hot-path — regression for the tools/ self-lint.
+  const lint::SourceFile in_string = lint::parse_source("x/a.cpp",
+      "#include <vector>\n"
+      "const char* kTag = \"// jigsaw-lint: hot-path\";\n"
+      "void f() { std::vector<int> v(3); }\n");
+  EXPECT_FALSE(in_string.hot_path_tagged);
+  EXPECT_TRUE(lint::run_rules({in_string}, {"hot-path-alloc"}).empty());
+  const lint::SourceFile mid_comment = lint::parse_source("x/b.cpp",
+      "// files tagged `jigsaw-lint: hot-path` construct no containers\n"
+      "#include <vector>\n"
+      "void f() { std::vector<int> v(3); }\n");
+  EXPECT_FALSE(mid_comment.hot_path_tagged);
+  EXPECT_TRUE(lint::run_rules({mid_comment}, {"hot-path-alloc"}).empty());
+}
+
+TEST(LintSuppression, UnknownRuleNameIsAFinding) {
+  const lint::SourceFile f = lint::parse_source("x/t.cpp",
+      "// jigsaw-lint: allow(warp-speed-alloc): misspelled rule\n"
+      "void f();\n");
+  const auto findings = lint::run_rules({f}, {"bad-suppression"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("warp-speed-alloc"), std::string::npos);
+}
+
+TEST(LintSuppression, EmptyRuleListIsAFinding) {
+  const lint::SourceFile f = lint::parse_source("x/t.cpp",
+      "// jigsaw-lint: allow(): nothing named\n"
+      "void f();\n");
+  EXPECT_EQ(lint::run_rules({f}, {"bad-suppression"}).size(), 1u);
+}
+
+TEST(LintSuppression, MissingReasonIsAFinding) {
+  const lint::SourceFile f = lint::parse_source("x/t.cpp",
+      "void f() { auto* p = new int; }  // jigsaw-lint: allow(raw-alloc)\n");
+  const auto findings = lint::run_rules({f});
+  // The suppression still works (raw-alloc stays silent) but the missing
+  // reason is itself reported.
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "bad-suppression");
+}
+
+TEST(LintSuppression, WellFormedDirectivesAreNotFindings) {
+  const lint::SourceFile f = lint::parse_source("x/t.cpp",
+      "// jigsaw-lint: allow(raw-alloc): intentionally leaked singleton\n"
+      "void f() { auto* p = new int; }\n"
+      "// jigsaw-analyze: allow(arena-escape): handed to the caller\n"
+      "void g();\n");
+  EXPECT_TRUE(lint::run_rules({f}).empty());
+}
+
+TEST(LintSuppression, AnalyzerRuleNamesAreKnownToBadSuppression) {
+  for (const std::string& rule : lint::analyzer_rule_names()) {
+    const lint::SourceFile f = lint::parse_source("x/t.cpp",
+        "// jigsaw-analyze: allow(" + rule + "): fixture reason\n" +
+        "void f();\n");
+    EXPECT_TRUE(lint::run_rules({f}).empty()) << rule;
+    EXPECT_TRUE(lint::is_suppressed(f, 2, rule)) << rule;
+  }
+}
+
+TEST(LintSuppression, ProseMentioningAllowSyntaxIsNotADirective) {
+  // Doc comments quoting the syntax (tag not at the comment start) must
+  // not parse as directives, or every header describing the mechanism
+  // would trip bad-suppression.
+  const lint::SourceFile f = lint::parse_source("x/t.cpp",
+      "// Suppression: a `// jigsaw-lint: allow(rule[,rule]): reason`\n"
+      "// comment on the flagged line silences those rules.\n"
+      "void f();\n");
+  EXPECT_TRUE(f.allows.empty());
+  EXPECT_TRUE(lint::run_rules({f}).empty());
+}
+
 TEST(LintRules, ExplicitVoidCastIsNotADiscard) {
   const lint::SourceFile header = lint::parse_source("a.hpp",
       "#pragma once\n"

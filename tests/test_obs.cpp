@@ -332,10 +332,12 @@ TEST_F(ObsTest, SnapshotIsSortedAndComplete) {
 // ---- Tracing ------------------------------------------------------------
 
 TEST_F(ObsTest, SpanDisabledRecordsNothing) {
+  // jigsaw-lint: allow(obs-name): synthetic test-only span names, not shipped instruments.
   { JIGSAW_TRACE_SCOPE("test", "disabled_span"); }
   record_span("test", "direct", 0, 1);  // direct records are unconditional
   EXPECT_EQ(trace_event_count(), 1u);
   reset_trace();
+  // jigsaw-lint: allow(obs-name): synthetic test-only span names, not shipped instruments.
   { JIGSAW_TRACE_SCOPE("test", "disabled_span"); }
   EXPECT_EQ(trace_event_count(), 0u);
 }
@@ -343,8 +345,10 @@ TEST_F(ObsTest, SpanDisabledRecordsNothing) {
 TEST_F(ObsTest, SpanNestingIsContained) {
   set_tracing_enabled(true);
   {
+    // jigsaw-lint: allow(obs-name): synthetic test-only span names, not shipped instruments.
     JIGSAW_TRACE_SCOPE("test", "outer");
     {
+      // jigsaw-lint: allow(obs-name): synthetic test-only span names, not shipped instruments.
       JIGSAW_TRACE_SCOPE("test", "inner");
     }
   }
@@ -364,6 +368,7 @@ TEST_F(ObsTest, SpanNestingIsContained) {
 TEST_F(ObsTest, SpanStraddlingDisableStillRecords) {
   set_tracing_enabled(true);
   {
+    // jigsaw-lint: allow(obs-name): synthetic test-only span names, not shipped instruments.
     JIGSAW_TRACE_SCOPE("test", "straddle");
     set_tracing_enabled(false);
   }
@@ -377,6 +382,7 @@ TEST_F(ObsTest, SpansAcrossThreadsAllSurviveWithDistinctTids) {
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([] {
       for (int i = 0; i < kSpans; ++i) {
+        // jigsaw-lint: allow(obs-name): synthetic test-only span names, not shipped instruments.
         JIGSAW_TRACE_SCOPE("test", "worker_span");
       }
     });

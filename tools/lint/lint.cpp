@@ -33,28 +33,65 @@ const char* const kFusedPunct[] = {
     "||", "+=", "-=", "*=", "/=", "%=", "^=", "|=", "&=", "++", "--",
 };
 
-/// Extracts `allow(rule[,rule])` lists from a comment's text.
-std::vector<std::string> parse_allow_rules(const std::string& comment) {
-  std::vector<std::string> rules;
-  const std::string tag = "jigsaw-lint:";
-  std::size_t at = comment.find(tag);
-  if (at == std::string::npos) return rules;
-  at = comment.find("allow(", at);
-  if (at == std::string::npos) return rules;
+/// True when a comment's text, leading whitespace and `/`s stripped,
+/// starts with `prefix` — the form of a standalone tag comment like
+/// `// jigsaw-lint: hot-path`. Mentions of the tag mid-prose or inside
+/// string literals never match.
+bool comment_starts_with(const std::string& comment,
+                         const std::string& prefix) {
+  std::size_t k = 0;
+  while (k < comment.size() &&
+         (comment[k] == '/' ||
+          std::isspace(static_cast<unsigned char>(comment[k])))) {
+    ++k;
+  }
+  return comment.compare(k, prefix.size(), prefix) == 0;
+}
+
+/// Extracts the `allow(rule[,rule]): reason` directive from a comment's
+/// text, if any. Both the `jigsaw-lint:` and `jigsaw-analyze:` tags are
+/// accepted (the semantic analyzer shares the suppression mechanism),
+/// and the tag must open the comment — prose *describing* the syntax is
+/// not a directive. Returns whether a directive was found; `out.rules`
+/// may be empty for a malformed `allow()` (bad-suppression reports
+/// those).
+bool parse_allow_directive(const std::string& comment, AllowDirective& out) {
+  if (!comment_starts_with(comment, "jigsaw-lint:") &&
+      !comment_starts_with(comment, "jigsaw-analyze:")) {
+    return false;
+  }
+  std::size_t at = comment.find("allow(");
+  if (at == std::string::npos) return false;
   const std::size_t open = at + 5;
   const std::size_t close = comment.find(')', open);
-  if (close == std::string::npos) return rules;
+  if (close == std::string::npos) return false;
   std::string inside = comment.substr(open + 1, close - open - 1);
   std::string current;
   for (char c : inside + ",") {
     if (c == ',') {
-      if (!current.empty()) rules.push_back(current);
+      if (!current.empty()) out.rules.push_back(current);
       current.clear();
     } else if (!std::isspace(static_cast<unsigned char>(c))) {
       current += c;
     }
   }
-  return rules;
+  // The reason is the prose after `):` — require a colon and at least one
+  // non-space character behind it on the directive's own line.
+  std::size_t after = close + 1;
+  while (after < comment.size() &&
+         std::isspace(static_cast<unsigned char>(comment[after])) &&
+         comment[after] != '\n') {
+    ++after;
+  }
+  if (after < comment.size() && comment[after] == ':') {
+    for (std::size_t k = after + 1; k < comment.size(); ++k) {
+      if (!std::isspace(static_cast<unsigned char>(comment[k]))) {
+        out.has_reason = true;
+        break;
+      }
+    }
+  }
+  return true;
 }
 
 struct Lexer {
@@ -85,18 +122,22 @@ struct Lexer {
   }
 
   void handle_comment(const std::string& text, int start_line) {
-    std::vector<std::string> rules = parse_allow_rules(text);
-    if (rules.empty()) return;
+    if (comment_starts_with(text, "jigsaw-lint: hot-path")) {
+      out.hot_path_tagged = true;
+    }
+    AllowDirective directive;
+    if (!parse_allow_directive(text, directive)) return;
+    directive.line = start_line;
     const bool trailing =
         !out.tokens.empty() && out.tokens.back().line == start_line;
-    for (std::string& rule : rules) {
+    for (const std::string& rule : directive.rules) {
       if (trailing) {
-        out.suppressions.push_back(
-            Suppression{start_line, std::move(rule)});
+        out.suppressions.push_back(Suppression{start_line, rule});
       } else {
-        pending_rules.push_back(std::move(rule));
+        pending_rules.push_back(rule);
       }
     }
+    out.allows.push_back(std::move(directive));
   }
 
   /// Consumes a whole preprocessor directive (with `\` continuations),
@@ -315,16 +356,9 @@ struct Lexer {
   }
 };
 
-bool suppressed(const SourceFile& f, int line, const std::string& rule) {
-  for (const Suppression& s : f.suppressions) {
-    if (s.line == line && s.rule == rule) return true;
-  }
-  return false;
-}
-
 void report(std::vector<Finding>& findings, const SourceFile& f, int line,
             std::string rule, std::string message) {
-  if (suppressed(f, line, rule)) return;
+  if (is_suppressed(f, line, rule)) return;
   findings.push_back(Finding{f.path, line, std::move(rule),
                              std::move(message)});
 }
@@ -794,7 +828,7 @@ bool paren_starts_expression(const std::vector<Token>& toks, std::size_t j) {
 /// parameter lists read as types stay silent.
 void rule_hot_path_alloc(const SourceFile& f,
                          std::vector<Finding>& findings) {
-  if (f.content.find("jigsaw-lint: hot-path") == std::string::npos) return;
+  if (!f.hot_path_tagged) return;
   const std::vector<Token>& toks = f.tokens;
   for (std::size_t i = 0; i < toks.size(); ++i) {
     const Token& t = toks[i];
@@ -952,6 +986,48 @@ void rule_header_hygiene(const SourceFile& f,
   }
 }
 
+// ---- Rule: bad-suppression -----------------------------------------------
+
+/// Every rule name an allow() may legitimately reference: this tool's
+/// catalog plus the semantic analyzer's (which shares the mechanism).
+const std::set<std::string>& known_rules() {
+  static const std::set<std::string> kKnown = [] {
+    std::set<std::string> all;
+    for (const std::string& name : rule_names()) all.insert(name);
+    for (const std::string& name : analyzer_rule_names()) all.insert(name);
+    return all;
+  }();
+  return kKnown;
+}
+
+/// A suppression that silences nothing (unknown rule) or argues nothing
+/// (missing reason) is worse than none: it reads as reviewed-and-waived
+/// while waiving nothing, or waives without the mandatory argument. Both
+/// were silently accepted before this rule existed.
+void rule_bad_suppression(const SourceFile& f,
+                          std::vector<Finding>& findings) {
+  for (const AllowDirective& d : f.allows) {
+    if (d.rules.empty()) {
+      report(findings, f, d.line, "bad-suppression",
+             "allow() names no rule: spell allow(rule[,rule]): reason");
+      continue;
+    }
+    for (const std::string& rule : d.rules) {
+      if (known_rules().count(rule) == 0) {
+        report(findings, f, d.line, "bad-suppression",
+               "allow(" + rule + ") names an unknown rule (see "
+               "--list-rules and docs/STATIC_ANALYSIS.md); the "
+               "suppression silences nothing");
+      }
+    }
+    if (!d.has_reason) {
+      report(findings, f, d.line, "bad-suppression",
+             "allow() without a `): reason` — the justification prose is "
+             "mandatory (docs/STATIC_ANALYSIS.md suppression syntax)");
+    }
+  }
+}
+
 }  // namespace
 
 // ---- Public API ----------------------------------------------------------
@@ -986,7 +1062,19 @@ SourceFile load_source(const std::string& path) {
 std::vector<std::string> rule_names() {
   return {"nodiscard-status", "discarded-status", "bounded-alloc",
           "no-magic-bounds",  "obs-name",         "raw-alloc",
-          "hot-path-alloc",   "header-hygiene"};
+          "hot-path-alloc",   "header-hygiene",   "bad-suppression"};
+}
+
+std::vector<std::string> analyzer_rule_names() {
+  return {"status-propagation", "arena-escape", "rcu-discipline",
+          "obs-name-registry"};
+}
+
+bool is_suppressed(const SourceFile& f, int line, const std::string& rule) {
+  for (const Suppression& s : f.suppressions) {
+    if (s.line == line && s.rule == rule) return true;
+  }
+  return false;
 }
 
 std::vector<Finding> run_rules(const std::vector<SourceFile>& files,
@@ -1027,6 +1115,7 @@ std::vector<Finding> run_rules(const std::vector<SourceFile>& files,
     if (active.count("raw-alloc")) rule_raw_alloc(f, findings);
     if (active.count("hot-path-alloc")) rule_hot_path_alloc(f, findings);
     if (active.count("header-hygiene")) rule_header_hygiene(f, findings);
+    if (active.count("bad-suppression")) rule_bad_suppression(f, findings);
   }
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {

@@ -26,11 +26,16 @@
 //   header-hygiene    headers start with #pragma once and directly
 //                     include the std headers of the std:: symbols they
 //                     use (IWYU-lite)
+//   bad-suppression   every allow() directive names only known rules
+//                     (jigsaw_lint's and jigsaw_analyze's) and carries
+//                     `): reason` prose — a malformed suppression is a
+//                     finding, not a silent no-op
 //
 // Suppression: a `// jigsaw-lint: allow(rule[,rule]): reason` comment on
 // the flagged line, or in the comment block immediately above it,
-// silences those rules for that line. The reason is mandatory prose by
-// convention (the tool only parses the rule list).
+// silences those rules for that line (`// jigsaw-analyze:` is accepted
+// as an equivalent tag for the semantic analyzer's rules). The reason
+// prose is mandatory — enforced by bad-suppression.
 //
 // The tool is token-level, not semantic: rules are written so that the
 // cheap approximation errs on the side of silence (e.g. discarded-status
@@ -65,6 +70,15 @@ struct Suppression {
   std::string rule;
 };
 
+/// One `allow(...)` directive as written, before resolution — the
+/// bad-suppression rule validates these (rule names must be known, the
+/// `): reason` prose must be present).
+struct AllowDirective {
+  int line = 0;  ///< line of the comment itself
+  std::vector<std::string> rules;
+  bool has_reason = false;  ///< non-empty prose after the `):`
+};
+
 /// One parsed source file ready for the rules.
 struct SourceFile {
   std::string path;     ///< as reported in findings
@@ -73,7 +87,11 @@ struct SourceFile {
   std::vector<Token> tokens;
   std::vector<std::string> includes;  ///< include targets, brackets/quotes stripped
   bool has_pragma_once = false;
+  /// Set by a standalone comment starting with `jigsaw-lint: hot-path`
+  /// (mentions inside strings or prose do not count).
+  bool hot_path_tagged = false;
   std::vector<Suppression> suppressions;
+  std::vector<AllowDirective> allows;
 };
 
 struct Finding {
@@ -101,6 +119,17 @@ std::vector<Finding> run_rules(const std::vector<SourceFile>& files,
 
 /// The rule names run_rules knows, in catalog order.
 std::vector<std::string> rule_names();
+
+/// Rule names of the semantic analyzer (tools/jigsaw_analyze), which
+/// shares the `allow()` suppression mechanism. Kept here so the
+/// bad-suppression rule recognizes them without a dependency cycle;
+/// tests/test_analyze.cpp pins this list against the analyzer's own
+/// catalog.
+std::vector<std::string> analyzer_rule_names();
+
+/// True when `rule` is suppressed on `line` of `f` by an allow()
+/// directive (shared with the semantic analyzer's rules).
+bool is_suppressed(const SourceFile& f, int line, const std::string& rule);
 
 /// Recursively collects the .hpp/.cpp files under each path (files are
 /// taken as-is), sorted. Nonexistent paths throw std::runtime_error.

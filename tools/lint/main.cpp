@@ -3,6 +3,7 @@
 //
 //   jigsaw_lint src/                       # the CI gate
 //   jigsaw_lint --rule obs-name src/obs    # one rule, one subtree
+//   jigsaw_lint --exclude lint_fixtures tests/
 //   jigsaw_lint --list-rules
 #include <cstring>
 #include <exception>
@@ -12,28 +13,37 @@
 
 #include "lint/lint.hpp"
 
+namespace {
+
+const char kUsage[] =
+    "usage: jigsaw_lint [--rule NAME]... [--exclude SUBSTR]... "
+    "[--list-rules] PATH...\n";
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::vector<std::string> paths;
   std::vector<std::string> rules;
+  std::vector<std::string> excludes;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--rule") == 0 && i + 1 < argc) {
       rules.emplace_back(argv[++i]);
+    } else if (std::strcmp(argv[i], "--exclude") == 0 && i + 1 < argc) {
+      excludes.emplace_back(argv[++i]);
     } else if (std::strcmp(argv[i], "--list-rules") == 0) {
       for (const std::string& name : jigsaw::lint::rule_names()) {
         std::cout << name << "\n";
       }
       return 0;
     } else if (argv[i][0] == '-') {
-      std::cerr << "usage: jigsaw_lint [--rule NAME]... [--list-rules] "
-                   "PATH...\n";
+      std::cerr << kUsage;
       return 2;
     } else {
       paths.emplace_back(argv[i]);
     }
   }
   if (paths.empty()) {
-    std::cerr << "usage: jigsaw_lint [--rule NAME]... [--list-rules] "
-                 "PATH...\n";
+    std::cerr << kUsage;
     return 2;
   }
 
@@ -43,6 +53,11 @@ int main(int argc, char** argv) {
     std::vector<jigsaw::lint::SourceFile> files;
     files.reserve(sources.size());
     for (const std::string& path : sources) {
+      bool excluded = false;
+      for (const std::string& sub : excludes) {
+        if (path.find(sub) != std::string::npos) excluded = true;
+      }
+      if (excluded) continue;
       files.push_back(jigsaw::lint::load_source(path));
     }
     const std::vector<jigsaw::lint::Finding> findings =
